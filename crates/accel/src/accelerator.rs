@@ -1,0 +1,351 @@
+//! The accelerator station: input queue + PEs + TLB + statistics
+//! (paper Fig 6/9, §IV-A, §IV-D).
+//!
+//! An accelerator admits queue entries (from cores via `Enqueue`, or
+//! from other accelerators' output dispatchers via A-DMA), assigns them
+//! to free PEs under a scheduling policy, and tracks tenant occupancy
+//! of PEs so that the machine can charge the scratchpad wipe the
+//! fine-grained virtualization of §IV-D requires between tenants.
+
+use accelflow_arch::config::ArchConfig;
+use accelflow_arch::tlb::Tlb;
+use accelflow_arch::topology::UnitId;
+use accelflow_sim::stats::BusyTracker;
+use accelflow_sim::time::{SimDuration, SimTime};
+use accelflow_trace::kind::AccelKind;
+
+use crate::dispatcher::QueuePolicy;
+use crate::queue::{InputQueue, PushOutcome, QueueEntry, TenantId};
+
+#[derive(Clone, Copy, Debug, Default)]
+struct PeSlot {
+    busy: bool,
+    last_tenant: Option<TenantId>,
+}
+
+/// Outcome of offering work to the accelerator.
+pub type AdmitOutcome = PushOutcome;
+
+/// A job the input dispatcher just moved onto a PE.
+#[derive(Clone, Debug)]
+pub struct StartedJob {
+    /// The queue entry now executing.
+    pub entry: QueueEntry,
+    /// Which PE runs it.
+    pub pe: usize,
+    /// Whether the PE's scratchpad must be wiped first (previous
+    /// occupant belonged to a different tenant, §IV-D).
+    pub tenant_wipe: bool,
+    /// How long the entry waited in the input queue.
+    pub queueing: SimDuration,
+}
+
+/// One accelerator instance.
+///
+/// # Example
+///
+/// ```
+/// use accelflow_accel::accelerator::Accelerator;
+/// use accelflow_accel::dispatcher::QueuePolicy;
+/// use accelflow_arch::config::ArchConfig;
+/// use accelflow_arch::topology::UnitId;
+/// use accelflow_trace::kind::AccelKind;
+///
+/// let cfg = ArchConfig::icelake();
+/// let acc = Accelerator::new(AccelKind::Tcp, UnitId(0), &cfg, QueuePolicy::Fifo);
+/// assert_eq!(acc.kind(), AccelKind::Tcp);
+/// assert!(acc.has_free_pe());
+/// ```
+#[derive(Clone, Debug)]
+pub struct Accelerator {
+    kind: AccelKind,
+    unit: UnitId,
+    input: InputQueue,
+    policy: QueuePolicy,
+    pes: Vec<PeSlot>,
+    tlb: Tlb,
+    busy: BusyTracker,
+    processed: u64,
+    tenant_wipes: u64,
+}
+
+impl Accelerator {
+    /// Creates an accelerator with the configured queue/PE geometry.
+    pub fn new(kind: AccelKind, unit: UnitId, cfg: &ArchConfig, policy: QueuePolicy) -> Self {
+        Accelerator {
+            kind,
+            unit,
+            input: InputQueue::new(cfg.input_queue_entries, cfg.overflow_entries),
+            policy,
+            pes: vec![PeSlot::default(); cfg.pes_per_accelerator],
+            tlb: Tlb::new(cfg),
+            busy: BusyTracker::new(),
+            processed: 0,
+            tenant_wipes: 0,
+        }
+    }
+
+    /// The accelerator's function.
+    pub fn kind(&self) -> AccelKind {
+        self.kind
+    }
+
+    /// The accelerator's placement unit.
+    pub fn unit(&self) -> UnitId {
+        self.unit
+    }
+
+    /// The scheduling policy in force.
+    pub fn policy(&self) -> QueuePolicy {
+        self.policy
+    }
+
+    /// Replaces the scheduling policy (e.g. for the SLO experiments).
+    pub fn set_policy(&mut self, policy: QueuePolicy) {
+        self.policy = policy;
+    }
+
+    /// Core-path admission (`Enqueue`): errors when the SRAM queue is
+    /// full so the core can retry or fall back (§IV-A).
+    pub fn admit_from_core(&mut self, entry: QueueEntry) -> Result<(), QueueEntry> {
+        self.input.try_enqueue(entry)
+    }
+
+    /// Dispatcher-path admission: spills to the overflow area; rejects
+    /// only when both queue and overflow are full (fall back to CPU).
+    pub fn admit_from_dispatcher(&mut self, entry: QueueEntry) -> AdmitOutcome {
+        self.input.push(entry)
+    }
+
+    /// Whether any PE is idle.
+    pub fn has_free_pe(&self) -> bool {
+        self.pes.iter().any(|pe| !pe.busy)
+    }
+
+    /// Whether work is waiting.
+    pub fn has_backlog(&self) -> bool {
+        !self.input.is_empty()
+    }
+
+    /// Input-dispatcher step: if a PE is free and an entry is ready,
+    /// move the policy's pick onto a PE, preferring a PE last used by
+    /// the same tenant (avoids a scratchpad wipe).
+    pub fn start_next(&mut self, now: SimTime) -> Option<StartedJob> {
+        if !self.has_free_pe() || self.input.len() == 0 {
+            return None;
+        }
+        let refs: Vec<&QueueEntry> = self.input.iter().collect();
+        let idx = self.policy.select(&refs, now)?;
+        let entry = self.input.take(idx);
+
+        // Prefer a free PE whose previous occupant shares the tenant.
+        let pe = self
+            .pes
+            .iter()
+            .position(|p| !p.busy && p.last_tenant == Some(entry.tenant))
+            .or_else(|| self.pes.iter().position(|p| !p.busy))
+            .expect("checked a PE is free");
+        let tenant_wipe = match self.pes[pe].last_tenant {
+            Some(t) => t != entry.tenant,
+            None => false,
+        };
+        if tenant_wipe {
+            self.tenant_wipes += 1;
+        }
+        self.pes[pe].busy = true;
+        self.pes[pe].last_tenant = Some(entry.tenant);
+        let queueing = now.saturating_since(entry.enqueued_at);
+        Some(StartedJob {
+            entry,
+            pe,
+            tenant_wipe,
+            queueing,
+        })
+    }
+
+    /// Marks a PE's job complete, accounting `busy_time` of PE
+    /// occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PE was not busy.
+    pub fn complete(&mut self, pe: usize, busy_time: SimDuration) {
+        assert!(self.pes[pe].busy, "completing an idle PE");
+        self.pes[pe].busy = false;
+        self.busy.add_busy(busy_time);
+        self.processed += 1;
+    }
+
+    /// The accelerator's address-translation cache.
+    pub fn tlb_mut(&mut self) -> &mut Tlb {
+        &mut self.tlb
+    }
+
+    /// Shared view of the TLB (for stats).
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
+    /// The input queue (for stats).
+    pub fn input(&self) -> &InputQueue {
+        &self.input
+    }
+
+    /// Jobs completed.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Scratchpad wipes forced by tenant changes.
+    pub fn tenant_wipes(&self) -> u64 {
+        self.tenant_wipes
+    }
+
+    /// PE utilization over `[0, now]`.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let window = now.as_picos() as f64 * self.pes.len() as f64;
+        if window == 0.0 {
+            0.0
+        } else {
+            (self.busy.busy().as_picos() as f64 / window).min(1.0)
+        }
+    }
+
+    /// Number of busy PEs right now.
+    pub fn busy_pes(&self) -> usize {
+        self.pes.iter().filter(|p| p.busy).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelflow_sim::time::SimDuration;
+    use accelflow_trace::cond::PayloadFlags;
+    use accelflow_trace::ir::{PositionMark, Slot, Trace};
+    use std::sync::Arc;
+
+    use crate::queue::RequestId;
+
+    fn entry(req: u64, tenant: u16) -> QueueEntry {
+        QueueEntry {
+            request: RequestId(req),
+            tenant: TenantId(tenant),
+            trace: Arc::new(Trace::new("t", vec![Slot::Accel(AccelKind::Tcp)])),
+            pm: PositionMark(0),
+            data_bytes: 1024,
+            flags: PayloadFlags::default(),
+            vaddr: req * 0x10000,
+            deadline: None,
+            priority: 0,
+            enqueued_at: SimTime::ZERO,
+            origin_core: 0,
+            tag: 0,
+        }
+    }
+
+    fn accel() -> Accelerator {
+        Accelerator::new(
+            AccelKind::Tcp,
+            UnitId(0),
+            &ArchConfig::icelake(),
+            QueuePolicy::Fifo,
+        )
+    }
+
+    #[test]
+    fn jobs_flow_through_pes() {
+        let mut a = accel();
+        a.admit_from_core(entry(1, 0)).unwrap();
+        a.admit_from_core(entry(2, 0)).unwrap();
+        let j1 = a.start_next(SimTime::ZERO).unwrap();
+        let j2 = a.start_next(SimTime::ZERO).unwrap();
+        assert_ne!(j1.pe, j2.pe);
+        assert!(a.start_next(SimTime::ZERO).is_none(), "queue drained");
+        assert_eq!(a.busy_pes(), 2);
+        a.complete(j1.pe, SimDuration::from_micros(3));
+        a.complete(j2.pe, SimDuration::from_micros(3));
+        assert_eq!(a.busy_pes(), 0);
+        assert_eq!(a.processed(), 2);
+    }
+
+    #[test]
+    fn all_pes_busy_blocks_start() {
+        let cfg = ArchConfig::icelake();
+        let mut a = accel();
+        for i in 0..cfg.pes_per_accelerator as u64 + 3 {
+            a.admit_from_core(entry(i, 0)).unwrap();
+        }
+        let mut jobs = vec![];
+        while let Some(j) = a.start_next(SimTime::ZERO) {
+            jobs.push(j);
+        }
+        assert_eq!(jobs.len(), cfg.pes_per_accelerator);
+        assert!(a.has_backlog());
+        a.complete(jobs[0].pe, SimDuration::from_micros(1));
+        assert!(a.start_next(SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn tenant_wipe_on_switch_and_affinity_avoids_it() {
+        let mut a = accel();
+        // Tenant 1 occupies a PE, finishes.
+        a.admit_from_core(entry(1, 1)).unwrap();
+        let j = a.start_next(SimTime::ZERO).unwrap();
+        assert!(!j.tenant_wipe, "first use of a PE needs no wipe");
+        let pe1 = j.pe;
+        a.complete(pe1, SimDuration::from_micros(1));
+
+        // Same tenant returns: the dispatcher prefers the same PE.
+        a.admit_from_core(entry(2, 1)).unwrap();
+        let j = a.start_next(SimTime::ZERO).unwrap();
+        assert_eq!(j.pe, pe1);
+        assert!(!j.tenant_wipe);
+        a.complete(j.pe, SimDuration::from_micros(1));
+
+        // Occupy every PE with tenant 1, then free exactly one; a
+        // tenant-2 job must reuse it and pay the wipe.
+        let cfg = ArchConfig::icelake();
+        let mut jobs = vec![];
+        for i in 0..cfg.pes_per_accelerator as u64 {
+            a.admit_from_core(entry(100 + i, 1)).unwrap();
+            jobs.push(a.start_next(SimTime::ZERO).unwrap());
+        }
+        let freed = jobs[3].pe;
+        a.complete(freed, SimDuration::from_micros(1));
+        a.admit_from_core(entry(200, 2)).unwrap();
+        let j = a.start_next(SimTime::ZERO).unwrap();
+        assert_eq!(j.pe, freed);
+        assert!(j.tenant_wipe);
+        assert_eq!(a.tenant_wipes(), 1);
+    }
+
+    #[test]
+    fn queueing_time_is_reported() {
+        let mut a = accel();
+        let mut e = entry(1, 0);
+        e.enqueued_at = SimTime::ZERO;
+        a.admit_from_core(e).unwrap();
+        let later = SimTime::ZERO + SimDuration::from_micros(7);
+        let j = a.start_next(later).unwrap();
+        assert_eq!(j.queueing, SimDuration::from_micros(7));
+    }
+
+    #[test]
+    fn utilization_accumulates() {
+        let mut a = accel();
+        a.admit_from_core(entry(1, 0)).unwrap();
+        let j = a.start_next(SimTime::ZERO).unwrap();
+        a.complete(j.pe, SimDuration::from_micros(8));
+        let now = SimTime::ZERO + SimDuration::from_micros(8);
+        // 8 us busy on one of 8 PEs over an 8 us window = 1/8.
+        assert!((a.utilization(now) - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle PE")]
+    fn completing_idle_pe_panics() {
+        let mut a = accel();
+        a.complete(0, SimDuration::ZERO);
+    }
+}

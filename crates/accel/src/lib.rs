@@ -1,0 +1,32 @@
+//! Models of the nine datacenter-tax accelerators (paper §III, §IV-A,
+//! §V, §VI).
+//!
+//! Each accelerator is a station with a standard interface: a 64-entry
+//! SRAM input queue (with a memory overflow area), eight processing
+//! elements with 64 KB scratchpads, a set-associative TLB fed by the
+//! IOMMU, and input/output dispatchers. The compute time of a PE is
+//! modeled the way the paper models it (§VI "How We Model the
+//! Accelerators"): measure the CPU cycles of the operation, divide by
+//! the accelerator's literature speedup.
+//!
+//! - [`timing`] — per-kind CPU-cost models, literature speedups, and
+//!   payload-size transfer functions.
+//! - [`queue`] — queue entries (trace + position mark + tenant +
+//!   payload descriptor) and the bounded input queue with its overflow
+//!   area.
+//! - [`dispatcher`] — glue-instruction accounting for the output
+//!   dispatcher (Fig 8) and the input-dispatcher scheduling policies
+//!   (FIFO, priority, deadline-aware; §IV-C).
+//! - [`accelerator`] — the accelerator station: admission, PE
+//!   assignment (with tenant-aware scratchpad wipes, §IV-D), and
+//!   utilization stats.
+
+pub mod accelerator;
+pub mod dispatcher;
+pub mod queue;
+pub mod timing;
+
+pub use accelerator::{Accelerator, AdmitOutcome};
+pub use dispatcher::QueuePolicy;
+pub use queue::{QueueEntry, RequestId, TenantId};
+pub use timing::ServiceTimeModel;

@@ -1,0 +1,165 @@
+//! The on-package network: intra-chiplet 2D mesh plus inter-chiplet
+//! links (paper Table III).
+//!
+//! Intra-chiplet transfers pay 3 cycles per mesh hop and serialize on
+//! 16-byte links at the core clock. Inter-chiplet transfers additionally
+//! pay the fully-connected inter-chiplet link latency (60 cycles at
+//! baseline; §VII-C2 sweeps 20–100) and the link bandwidth.
+
+use accelflow_sim::time::SimDuration;
+
+use crate::config::ArchConfig;
+use crate::topology::{ChipletLayout, Endpoint};
+
+/// Latency/bandwidth model of the on-package network.
+///
+/// # Example
+///
+/// ```
+/// use accelflow_arch::config::ArchConfig;
+/// use accelflow_arch::interconnect::Interconnect;
+/// use accelflow_arch::topology::{ChipletLayout, Endpoint, UnitId};
+///
+/// let cfg = ArchConfig::icelake();
+/// let layout = ChipletLayout::new(vec![vec![8], (0..8).collect()], 9);
+/// let net = Interconnect::new(&cfg, layout);
+/// let near = net.transfer_time(Endpoint::Unit(UnitId(0)), Endpoint::Unit(UnitId(1)), 256);
+/// let far = net.transfer_time(Endpoint::Cores, Endpoint::Unit(UnitId(0)), 256);
+/// assert!(far > near); // crossing chiplets costs more
+/// ```
+#[derive(Clone, Debug)]
+pub struct Interconnect {
+    layout: ChipletLayout,
+    hop_latency: SimDuration,
+    link_bytes_per_cycle: f64,
+    cycle: SimDuration,
+    inter_chiplet_latency: SimDuration,
+    inter_chiplet_bw: f64,
+}
+
+impl Interconnect {
+    /// Builds the network model from the architecture config and a
+    /// chiplet layout.
+    pub fn new(cfg: &ArchConfig, layout: ChipletLayout) -> Self {
+        Interconnect {
+            layout,
+            hop_latency: cfg.cycles(cfg.mesh_hop_cycles),
+            link_bytes_per_cycle: cfg.mesh_link_bytes as f64,
+            cycle: cfg.core_clock.cycle(),
+            inter_chiplet_latency: cfg.cycles(cfg.inter_chiplet_cycles),
+            inter_chiplet_bw: cfg.inter_chiplet_bw,
+        }
+    }
+
+    /// The chiplet layout this network connects.
+    pub fn layout(&self) -> &ChipletLayout {
+        &self.layout
+    }
+
+    /// Replaces the inter-chiplet link latency (for the §VII-C2 sweep).
+    pub fn set_inter_chiplet_latency(&mut self, latency: SimDuration) {
+        self.inter_chiplet_latency = latency;
+    }
+
+    /// End-to-end time to move `bytes` from `from` to `to`:
+    /// head-of-message latency (hops, plus the inter-chiplet link if
+    /// crossing) plus serialization of the message body.
+    pub fn transfer_time(&self, from: Endpoint, to: Endpoint, bytes: u64) -> SimDuration {
+        if from == to {
+            return SimDuration::ZERO;
+        }
+        if self.layout.same_chiplet(from, to) {
+            let hops = self.layout.mesh_hops(from, to).max(1);
+            self.hop_latency * hops as u64 + self.serialize_mesh(bytes)
+        } else {
+            let hops = self.layout.hops_to_edge(from) + self.layout.hops_to_edge(to);
+            self.hop_latency * hops.max(1) as u64
+                + self.inter_chiplet_latency
+                + self.serialize_mesh(bytes).max(self.serialize_link(bytes))
+        }
+    }
+
+    /// Head-of-message latency only (no payload), e.g. for doorbell or
+    /// notification messages.
+    pub fn signal_time(&self, from: Endpoint, to: Endpoint) -> SimDuration {
+        self.transfer_time(from, to, 0)
+    }
+
+    fn serialize_mesh(&self, bytes: u64) -> SimDuration {
+        let cycles = bytes as f64 / self.link_bytes_per_cycle;
+        SimDuration::from_picos((cycles * self.cycle.as_picos() as f64).round() as u64)
+    }
+
+    fn serialize_link(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.inter_chiplet_bw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::UnitId;
+
+    fn net() -> Interconnect {
+        let cfg = ArchConfig::icelake();
+        let layout = ChipletLayout::new(vec![vec![8], (0..8).collect()], 9);
+        Interconnect::new(&cfg, layout)
+    }
+
+    #[test]
+    fn zero_for_self_transfer() {
+        let n = net();
+        assert_eq!(
+            n.transfer_time(Endpoint::Unit(UnitId(3)), Endpoint::Unit(UnitId(3)), 4096),
+            SimDuration::ZERO
+        );
+    }
+
+    #[test]
+    fn intra_chiplet_latency_matches_hops() {
+        let cfg = ArchConfig::icelake();
+        let n = net();
+        // Unit 0 (0,0) to unit 1 (1,0): one hop, 3 cycles + 0-byte body.
+        let t = n.signal_time(Endpoint::Unit(UnitId(0)), Endpoint::Unit(UnitId(1)));
+        assert_eq!(t, cfg.cycles(3.0));
+    }
+
+    #[test]
+    fn inter_chiplet_adds_link_latency() {
+        let cfg = ArchConfig::icelake();
+        let n = net();
+        let t = n.signal_time(Endpoint::Cores, Endpoint::Unit(UnitId(0)));
+        // At least the 60-cycle link latency.
+        assert!(t >= cfg.cycles(60.0));
+    }
+
+    #[test]
+    fn serialization_grows_with_size() {
+        let n = net();
+        let a = n.transfer_time(Endpoint::Unit(UnitId(0)), Endpoint::Unit(UnitId(1)), 64);
+        let b = n.transfer_time(
+            Endpoint::Unit(UnitId(0)),
+            Endpoint::Unit(UnitId(1)),
+            64 * 1024,
+        );
+        assert!(b > a * 10);
+    }
+
+    #[test]
+    fn latency_sweep_hook() {
+        let cfg = ArchConfig::icelake();
+        let mut n = net();
+        let base = n.signal_time(Endpoint::Cores, Endpoint::Unit(UnitId(0)));
+        n.set_inter_chiplet_latency(cfg.cycles(100.0));
+        let slow = n.signal_time(Endpoint::Cores, Endpoint::Unit(UnitId(0)));
+        assert_eq!(slow - base, cfg.cycles(40.0));
+    }
+
+    #[test]
+    fn symmetric_transfers() {
+        let n = net();
+        let ab = n.transfer_time(Endpoint::Unit(UnitId(2)), Endpoint::Unit(UnitId(5)), 1024);
+        let ba = n.transfer_time(Endpoint::Unit(UnitId(5)), Endpoint::Unit(UnitId(2)), 1024);
+        assert_eq!(ab, ba);
+    }
+}

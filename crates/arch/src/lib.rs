@@ -1,0 +1,40 @@
+//! Hardware substrate models for the AccelFlow reproduction.
+//!
+//! The paper evaluates AccelFlow on a simulated server-class processor
+//! (Table III): 36 IceLake-like cores at 2.4 GHz on a core chiplet, nine
+//! datacenter-tax accelerators (eight on an accelerator chiplet plus the
+//! load balancer beside the cores), a 2D-mesh intra-chiplet network, a
+//! 60-cycle inter-chiplet link, ten shared A-DMA engines, per-accelerator
+//! TLBs backed by an IOMMU, and a DDR memory system.
+//!
+//! This crate provides those structures as explicit, unit-tested models:
+//!
+//! - [`config`] — the Table III parameter set and CPU-generation scaling
+//!   (Fig 20).
+//! - [`topology`] — chiplet layouts (1/2/3/4/6-chiplet organizations of
+//!   Fig 18) and mesh placement.
+//! - [`interconnect`] — latency + bandwidth between any two endpoints.
+//! - [`dma`] — the A-DMA engine pool and transfer-time model.
+//! - [`tlb`] — set-associative address-translation caches with IOMMU
+//!   walk latency on miss.
+//! - [`cache`] — cache-hierarchy access latency and the shared
+//!   memory-bandwidth model.
+//! - [`energy`] — per-access energy accounting for the §VII-B5
+//!   power/energy results.
+//! - [`area`] — the §VI silicon-area accounting (the ~2.9% overhead
+//!   claim, reproducible).
+
+pub mod area;
+pub mod cache;
+pub mod config;
+pub mod dma;
+pub mod energy;
+pub mod interconnect;
+pub mod tlb;
+pub mod topology;
+
+pub use config::{ArchConfig, CpuGeneration};
+pub use dma::DmaPool;
+pub use interconnect::Interconnect;
+pub use tlb::Tlb;
+pub use topology::{ChipletId, ChipletLayout, Endpoint};

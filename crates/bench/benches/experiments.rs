@@ -1,0 +1,92 @@
+//! Criterion benchmarks running scaled-down versions of the paper's
+//! experiments — one group per figure family — so `cargo bench`
+//! exercises the full machine under every orchestration policy.
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_core::machine::Machine;
+use accelflow_core::policy::Policy;
+use accelflow_sim::time::SimDuration;
+use accelflow_workloads::socialnetwork;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn tiny_scale() -> Scale {
+    Scale {
+        duration: SimDuration::from_millis(10),
+        warmup: SimDuration::from_millis(1),
+        rps: 2_000.0,
+        seed: 42,
+    }
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let services = vec![socialnetwork::uniq_id(), socialnetwork::login()];
+    let scale = tiny_scale();
+    let arrivals = harness::shared_arrivals(&services, scale);
+    let mut group = c.benchmark_group("fig11_scaled");
+    group.sample_size(10);
+    for policy in Policy::HEADLINE {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let cfg = harness::machine_config(policy, scale);
+                black_box(Machine::run_arrivals(
+                    &cfg,
+                    &services,
+                    arrivals.clone(),
+                    scale.duration,
+                    scale.seed,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let services = vec![socialnetwork::read_home_timeline()];
+    let scale = tiny_scale();
+    let arrivals = harness::shared_arrivals(&services, scale);
+    let mut group = c.benchmark_group("fig13_scaled");
+    group.sample_size(10);
+    for policy in [Policy::Relief, Policy::Direct, Policy::AccelFlow] {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| {
+                let cfg = harness::machine_config(policy, scale);
+                black_box(Machine::run_arrivals(
+                    &cfg,
+                    &services,
+                    arrivals.clone(),
+                    scale.duration,
+                    scale.seed,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_chiplets(c: &mut Criterion) {
+    let services = vec![socialnetwork::store_post()];
+    let scale = tiny_scale();
+    let arrivals = harness::shared_arrivals(&services, scale);
+    let mut group = c.benchmark_group("fig18_scaled");
+    group.sample_size(10);
+    for chiplets in [2usize, 6] {
+        group.bench_function(format!("{chiplets}-chiplet"), |b| {
+            b.iter(|| {
+                let mut cfg = harness::machine_config(Policy::AccelFlow, scale);
+                cfg.chiplets = chiplets;
+                black_box(Machine::run_arrivals(
+                    &cfg,
+                    &services,
+                    arrivals.clone(),
+                    scale.duration,
+                    scale.seed,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_ablation, bench_chiplets);
+criterion_main!(benches);

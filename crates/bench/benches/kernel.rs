@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the simulation kernel's hot paths:
+//! the event queue, the latency histogram, the RNG samplers, and the
+//! server-pool booking used for PEs/cores/DMA engines.
+
+use accelflow_sim::engine::{EventQueue, Model, Simulation};
+use accelflow_sim::resource::ServerPool;
+use accelflow_sim::rng::SimRng;
+use accelflow_sim::stats::Histogram;
+use accelflow_sim::time::{SimDuration, SimTime};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+struct Churn {
+    left: u64,
+}
+
+impl Model for Churn {
+    type Event = u32;
+    fn handle(&mut self, _now: SimTime, ev: u32, queue: &mut EventQueue<u32>) {
+        if self.left > 0 {
+            self.left -= 1;
+            // Two follow-ons at staggered delays: keeps the heap busy.
+            queue.schedule(
+                SimDuration::from_nanos(u64::from(ev % 97) + 1),
+                ev.wrapping_add(1),
+            );
+        }
+    }
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("engine/100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Churn { left: 100_000 });
+            sim.queue_mut().schedule(SimDuration::ZERO, 1);
+            sim.run();
+            black_box(sim.now())
+        })
+    });
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut rng = SimRng::seed(1);
+    let values: Vec<u64> = (0..100_000)
+        .map(|_| (rng.log_normal(200_000_000.0, 1.0)) as u64)
+        .collect();
+    c.bench_function("stats/record_100k", |b| {
+        b.iter(|| {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            black_box(h.percentile(99.0))
+        })
+    });
+    let mut h = Histogram::new();
+    for &v in &values {
+        h.record(v);
+    }
+    c.bench_function("stats/p99", |b| b.iter(|| black_box(h.percentile(99.0))));
+}
+
+fn bench_rng(c: &mut Criterion) {
+    c.bench_function("rng/exponential_10k", |b| {
+        let mut rng = SimRng::seed(2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.exponential(100.0);
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("rng/log_normal_10k", |b| {
+        let mut rng = SimRng::seed(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..10_000 {
+                acc += rng.log_normal(2048.0, 0.7);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_server_pool(c: &mut Criterion) {
+    c.bench_function("resource/pool_acquire_10k", |b| {
+        b.iter(|| {
+            let mut pool = ServerPool::new(8);
+            let mut t = SimTime::ZERO;
+            for i in 0..10_000u64 {
+                t += SimDuration::from_nanos(i % 300);
+                black_box(pool.acquire(t, SimDuration::from_nanos(2_300)));
+            }
+            pool.jobs()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_histogram,
+    bench_rng,
+    bench_server_pool
+);
+criterion_main!(benches);

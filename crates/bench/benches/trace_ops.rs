@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the trace machinery: the output-dispatcher
+//! walk (`advance`), packed encode/decode, and program sampling.
+
+use accelflow_accel::timing::ServiceTimeModel;
+use accelflow_sim::rng::SimRng;
+use accelflow_sim::time::Frequency;
+use accelflow_trace::cond::PayloadFlags;
+use accelflow_trace::ir::{Next, PositionMark};
+use accelflow_trace::packed;
+use accelflow_trace::templates::{TemplateId, TraceLibrary};
+use accelflow_workloads::socialnetwork;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_advance(c: &mut Criterion) {
+    let lib = TraceLibrary::standard();
+    let t1 = lib.entry(TemplateId::T1).clone();
+    let flags = PayloadFlags {
+        compressed: true,
+        ..Default::default()
+    };
+    c.bench_function("trace/dispatcher_walk_t1", |b| {
+        b.iter(|| {
+            let mut adv = t1.first(&flags);
+            let mut hops = 0;
+            while let Next::Invoke { pm, .. } = adv.next {
+                hops += 1;
+                adv = t1.advance(black_box(pm), &flags);
+            }
+            let _ = PositionMark(0);
+            black_box(hops)
+        })
+    });
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let lib = TraceLibrary::standard();
+    let t6 = lib.entry(TemplateId::T6).clone();
+    c.bench_function("trace/pack_t6", |b| {
+        b.iter(|| black_box(packed::pack(&t6).unwrap()))
+    });
+    let bytes = packed::pack(&t6).unwrap();
+    c.bench_function("trace/unpack_t6", |b| {
+        b.iter(|| black_box(packed::unpack("t6", &bytes).unwrap()))
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let lib = TraceLibrary::standard();
+    let timing = ServiceTimeModel::calibrated(Frequency::from_ghz(2.4));
+    let svc = socialnetwork::compose_post();
+    c.bench_function("workload/sample_cpost_program", |b| {
+        let mut rng = SimRng::seed(4);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(svc.sample(&lib, &timing, &mut rng, i << 32))
+        })
+    });
+}
+
+fn bench_library(c: &mut Criterion) {
+    c.bench_function("trace/build_library", |b| {
+        b.iter(|| black_box(TraceLibrary::standard()))
+    });
+    let lib = TraceLibrary::standard();
+    c.bench_function("trace/connectivity_matrix", |b| {
+        b.iter(|| black_box(lib.connectivity()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_advance,
+    bench_pack,
+    bench_sampling,
+    bench_library
+);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Diagnostic: centralized-manager load per Fig 13 ablation rung —
+//! useful when re-calibrating manager occupancy constants.
+use accelflow_bench::harness::{self, Scale};
+use accelflow_core::policy::Policy;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    let arrivals = harness::shared_arrivals(&services, scale);
+    for p in Policy::ABLATION {
+        let r = harness::run_policy(p, &services, arrivals.clone(), scale);
+        let util = r.totals.manager_busy.as_secs_f64() / scale.duration.as_secs_f64();
+        println!(
+            "{:<12} p99 {:>8.0}us mgr-jobs {:>9} mgr-booked-util {:>6.3} completed {}",
+            p.name(),
+            harness::avg_p99(&r),
+            r.totals.manager_jobs,
+            util,
+            r.completed()
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Diagnostic: per-policy latency, completion, utilization, and
+//! breakdown summary — useful when re-calibrating the machine model.
+use accelflow_bench::harness::{self, Scale};
+use accelflow_core::policy::Policy;
+use accelflow_trace::kind::AccelKind;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    let arrivals = harness::shared_arrivals(&services, scale);
+    for p in [
+        Policy::Relief,
+        Policy::CpuCentric,
+        Policy::Cohort,
+        Policy::AccelFlow,
+        Policy::NonAcc,
+    ] {
+        let r = harness::run_policy(p, &services, arrivals.clone(), scale);
+        let b = r.total_breakdown();
+        let mgr_util = r.totals.manager_busy.as_secs_f64() / scale.duration.as_secs_f64();
+        print!(
+            "{:<12} p99 {:>9.0}us mean {:>7.0}us done {:.3} mgr-util {:.2} ",
+            p.name(),
+            harness::avg_p99(&r),
+            harness::avg_mean(&r),
+            r.completion_ratio(),
+            mgr_util
+        );
+        print!(
+            "cpu {:.0} acc {:.0} orch {:.0} comm {:.0} ext {:.0} (ms) ",
+            b.cpu.as_secs_f64() * 1e3,
+            b.accel.as_secs_f64() * 1e3,
+            b.orchestration.as_secs_f64() * 1e3,
+            b.communication.as_secs_f64() * 1e3,
+            b.external.as_secs_f64() * 1e3
+        );
+        for k in [
+            AccelKind::Tcp,
+            AccelKind::Encr,
+            AccelKind::Dser,
+            AccelKind::Cmp,
+        ] {
+            print!("{}={:.2} ", k, r.totals.accel_utilization[k.id() as usize]);
+        }
+        println!("fallb {} ovfl {}", r.totals.fallbacks, r.totals.overflows);
+    }
+}

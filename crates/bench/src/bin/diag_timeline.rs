@@ -1,0 +1,65 @@
+//! Diagnostic: latency-over-time view of the bursty headline workload.
+//!
+//! Buckets completions into 4 ms windows and renders a sparkline of
+//! each bucket's p95 latency for AccelFlow and RELIEF, making the
+//! burst-driven tail behavior visible.
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_core::policy::Policy;
+use accelflow_sim::stats::TimeSeries;
+use accelflow_sim::time::SimDuration;
+use accelflow_workloads::socialnetwork;
+
+const BARS: [char; 8] = [
+    '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}',
+];
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    let arrivals = harness::shared_arrivals(&services, scale);
+    let bucket = SimDuration::from_millis(4);
+
+    // Arrival-rate sparkline.
+    let mut arr_series = TimeSeries::new(bucket, scale.duration);
+    for a in &arrivals {
+        arr_series.record(a.at, 1);
+    }
+    println!(
+        "arrivals/4ms: {}",
+        arr_series.sparkline(&BARS, |t, i| t.count(i) as f64)
+    );
+
+    for policy in [Policy::AccelFlow, Policy::Relief] {
+        let mut cfg = harness::machine_config(policy, scale);
+        cfg.sample_latencies = true;
+        let r = accelflow_core::machine::Machine::run_arrivals(
+            &cfg,
+            &services,
+            arrivals.clone(),
+            scale.duration,
+            scale.seed,
+        );
+        let mut ts = TimeSeries::new(bucket, scale.duration);
+        let mut peak = 0.0f64;
+        for s in &r.per_service {
+            for &(at, lat) in &s.samples {
+                ts.record(at, lat.as_picos());
+            }
+        }
+        for i in 0..ts.buckets() {
+            if let Some(p) = ts.percentile(i, 95.0) {
+                peak = peak.max(p as f64 / 1e6);
+            }
+        }
+        println!(
+            "{:<10} p95: {}  (peak {:.0} us)",
+            policy.name(),
+            ts.sparkline(&BARS, |t, i| t.percentile(i, 95.0).unwrap_or(0) as f64),
+            peak
+        );
+    }
+    println!();
+    println!("Bursts (tall arrival bars) line up with tail spikes; RELIEF's");
+    println!("manager amplifies them far more than AccelFlow's dispatchers.");
+}

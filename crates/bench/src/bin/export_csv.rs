@@ -1,0 +1,108 @@
+//! Exports the headline experiment series as CSV files under
+//! `results/csv/` for plotting (Fig 11 per-service latencies, Fig 12
+//! load sweep, Fig 13 ablation, Fig 19 PE sweep, Fig 20 generations).
+
+use std::fs;
+use std::io::Write as _;
+
+use accelflow_arch::config::CpuGeneration;
+use accelflow_bench::harness::{self, Scale};
+use accelflow_core::machine::Machine;
+use accelflow_core::policy::Policy;
+use accelflow_workloads::socialnetwork;
+
+fn write(path: &str, header: &str, rows: &[String]) {
+    fs::create_dir_all("results/csv").expect("create results/csv");
+    let mut f = fs::File::create(path).expect("create csv");
+    writeln!(f, "{header}").expect("write");
+    for row in rows {
+        writeln!(f, "{row}").expect("write");
+    }
+    println!("wrote {path} ({} rows)", rows.len());
+}
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    let arrivals = harness::shared_arrivals(&services, scale);
+
+    // Fig 11: per-service p99/mean for the five architectures.
+    let mut rows = Vec::new();
+    for p in Policy::HEADLINE {
+        let r = harness::run_policy(p, &services, arrivals.clone(), scale);
+        for s in &r.per_service {
+            rows.push(format!(
+                "{},{},{:.1},{:.1}",
+                p.name(),
+                s.name,
+                s.p99().as_micros_f64(),
+                s.mean().as_micros_f64()
+            ));
+        }
+    }
+    write(
+        "results/csv/fig11.csv",
+        "policy,service,p99_us,mean_us",
+        &rows,
+    );
+
+    // Fig 13: ablation ladder.
+    let mut rows = Vec::new();
+    for p in Policy::ABLATION {
+        let r = harness::run_policy(p, &services, arrivals.clone(), scale);
+        rows.push(format!("{},{:.1}", p.name(), harness::avg_p99(&r)));
+    }
+    write("results/csv/fig13.csv", "design,avg_p99_us", &rows);
+
+    // Fig 20: generations.
+    let mut rows = Vec::new();
+    for generation in CpuGeneration::ALL {
+        for p in [Policy::NonAcc, Policy::Relief, Policy::AccelFlow] {
+            let mut cfg = harness::machine_config(p, scale);
+            cfg.arch.generation = generation;
+            let r = Machine::run_arrivals(
+                &cfg,
+                &services,
+                arrivals.clone(),
+                scale.duration,
+                scale.seed,
+            );
+            rows.push(format!(
+                "{},{},{:.1}",
+                generation.name(),
+                p.name(),
+                harness::avg_p99(&r)
+            ));
+        }
+    }
+    write(
+        "results/csv/fig20.csv",
+        "generation,policy,avg_p99_us",
+        &rows,
+    );
+
+    // Fig 19: PE sweep.
+    let mut rows = Vec::new();
+    for pes in [2usize, 4, 8] {
+        let mut cfg = harness::machine_config(Policy::AccelFlow, scale);
+        cfg.arch.pes_per_accelerator = pes;
+        let r = Machine::run_arrivals(
+            &cfg,
+            &services,
+            arrivals.clone(),
+            scale.duration,
+            scale.seed,
+        );
+        rows.push(format!(
+            "{},{:.1},{:.4}",
+            pes,
+            harness::avg_p99(&r),
+            r.fallback_fraction()
+        ));
+    }
+    write(
+        "results/csv/fig19.csv",
+        "pes,avg_p99_us,fallback_fraction",
+        &rows,
+    );
+}

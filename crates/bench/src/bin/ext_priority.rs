@@ -1,0 +1,46 @@
+//! Extension (paper §V-1: "more advanced policies could process the
+//! entries based on their Priority field"): priority scheduling in the
+//! input dispatchers — a high-priority service sharing a lean ensemble
+//! with bulk traffic.
+
+use accelflow_accel::dispatcher::QueuePolicy;
+use accelflow_bench::table::Table;
+use accelflow_core::machine::{Machine, MachineConfig};
+use accelflow_core::policy::Policy;
+use accelflow_sim::time::SimDuration;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let mut latency_critical = socialnetwork::uniq_id();
+    latency_critical.priority = 7;
+    let bulk = socialnetwork::compose_post();
+    let services = vec![latency_critical, bulk];
+
+    let mut t = Table::new(
+        "Priority scheduling on a lean (2-PE) ensemble",
+        &[
+            "dispatcher",
+            "UniqId mean (us)",
+            "UniqId p99 (us)",
+            "CPost p99 (us)",
+        ],
+    );
+    for (name, policy) in [
+        ("FIFO", QueuePolicy::Fifo),
+        ("priority", QueuePolicy::Priority),
+    ] {
+        let mut cfg = MachineConfig::new(Policy::AccelFlow);
+        cfg.warmup = SimDuration::from_millis(5);
+        cfg.arch.pes_per_accelerator = 2;
+        cfg.queue_policy_override = Some(policy);
+        let r = Machine::run_workload(&cfg, &services, 30_000.0, SimDuration::from_millis(80), 3);
+        t.row(&[
+            name.to_string(),
+            format!("{:.1}", r.per_service[0].mean().as_micros_f64()),
+            format!("{:.1}", r.per_service[0].p99().as_micros_f64()),
+            format!("{:.0}", r.per_service[1].p99().as_micros_f64()),
+        ]);
+    }
+    t.print();
+    println!("High-priority entries jump the input queues; bulk traffic absorbs the delay.");
+}

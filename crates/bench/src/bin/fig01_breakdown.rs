@@ -1,0 +1,87 @@
+//! Fig 1: execution-time breakdown of SocialNetwork service
+//! invocations on the Non-acc server (CPU-equivalent attribution per
+//! tax category), with absolute unloaded execution times.
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::paper;
+use accelflow_bench::table::{pct, Table};
+use accelflow_core::policy::Policy;
+use accelflow_trace::kind::AccelKind;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let mut scale = Scale::from_env();
+    scale.rps = 400.0; // unloaded: Fig 1 measures service composition
+    let report = harness::run_poisson(Policy::NonAcc, &services, scale.rps, scale);
+
+    let cat = |shares: &[f64; 9], a: AccelKind, b: Option<AccelKind>| {
+        shares[a.id() as usize] + b.map(|k| shares[k.id() as usize]).unwrap_or(0.0)
+    };
+
+    let mut table = Table::new(
+        "Fig 1: Non-acc execution-time breakdown",
+        &[
+            "service",
+            "exec (us)",
+            "TCP",
+            "(De)Encr",
+            "RPC",
+            "(De)Ser",
+            "(De)Cmp",
+            "LdB",
+            "AppLogic",
+        ],
+    );
+    let mut avg = [0.0f64; 7];
+    for s in &report.per_service {
+        let (shares, app) = s.fig1_shares();
+        use AccelKind::*;
+        let row = [
+            cat(&shares, Tcp, None),
+            cat(&shares, Encr, Some(Decr)),
+            cat(&shares, Rpc, None),
+            cat(&shares, Ser, Some(Dser)),
+            cat(&shares, Cmp, Some(Dcmp)),
+            cat(&shares, Ldb, None),
+            app,
+        ];
+        for (a, r) in avg.iter_mut().zip(row) {
+            *a += r / report.per_service.len() as f64;
+        }
+        table.row(&[
+            s.name.clone(),
+            format!("{:.0}", s.mean().as_micros_f64()),
+            pct(row[0]),
+            pct(row[1]),
+            pct(row[2]),
+            pct(row[3]),
+            pct(row[4]),
+            pct(row[5]),
+            pct(row[6]),
+        ]);
+    }
+    table.row(&[
+        "AVERAGE".into(),
+        String::new(),
+        pct(avg[0]),
+        pct(avg[1]),
+        pct(avg[2]),
+        pct(avg[3]),
+        pct(avg[4]),
+        pct(avg[5]),
+        pct(avg[6]),
+    ]);
+    table.row(&[
+        "paper avg".into(),
+        String::new(),
+        pct(paper::FIG1_SHARES[0].1),
+        pct(paper::FIG1_SHARES[1].1),
+        pct(paper::FIG1_SHARES[2].1),
+        pct(paper::FIG1_SHARES[3].1),
+        pct(paper::FIG1_SHARES[4].1),
+        pct(paper::FIG1_SHARES[5].1),
+        pct(paper::FIG1_SHARES[6].1),
+    ]);
+    table.print();
+}

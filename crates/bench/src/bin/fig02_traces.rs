@@ -1,0 +1,45 @@
+//! Figures 2, 4, and 7: the trace shapes, rendered as flow diagrams
+//! (the paper draws boxes and arrows; we render indented ASCII).
+
+use accelflow_trace::templates::{TemplateId, TraceLibrary};
+use accelflow_trace::viz::render;
+
+fn main() {
+    let lib = TraceLibrary::standard();
+    println!(
+        "Fig 2a / T2 (send function response):\n{}",
+        render(lib.entry(TemplateId::T2))
+    );
+    println!(
+        "Fig 2b / T4 (send read request to DB cache):\n{}",
+        render(lib.entry(TemplateId::T4))
+    );
+    println!(
+        "Fig 4a / T1 (receive function request):\n{}",
+        render(lib.entry(TemplateId::T1))
+    );
+    println!(
+        "Fig 7 / T5 (receive DB-cache read response):\n{}",
+        render(lib.entry(TemplateId::T5))
+    );
+    println!(
+        "Fig 7 / T6 (receive DB read response):\n{}",
+        render(lib.entry(TemplateId::T6))
+    );
+    println!(
+        "Fig 7 / T7 (receive write response):\n{}",
+        render(lib.entry(TemplateId::T7))
+    );
+    println!(
+        "Fig 7 / T10 (receive RPC response):\n{}",
+        render(lib.entry(TemplateId::T10))
+    );
+    println!(
+        "Split error subtrace (§IV-B):\n{}",
+        render(
+            lib.atm()
+                .peek(lib.error_addr())
+                .expect("error trace resident")
+        )
+    );
+}

@@ -1,0 +1,46 @@
+//! Fig 3: orchestration overhead as a fraction of service execution
+//! time, for CPU-Centric, HW-Manager (RELIEF), and Direct, as the
+//! processor load sweeps from 1 to 15 kRPS.
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::paper;
+use accelflow_bench::table::{pct, Table};
+use accelflow_core::policy::Policy;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let mut scale = Scale::from_env();
+    // The paper sweeps the load of the whole 36-core processor.
+    let machine_loads = [1_000.0, 5_000.0, 10_000.0, 15_000.0, 60_000.0, 107_000.0];
+    let policies = [Policy::CpuCentric, Policy::Relief, Policy::Direct];
+
+    let mut t = Table::new(
+        "Fig 3: orchestration overhead vs machine load (fraction of total service execution time)",
+        &["machine kRPS", "CPU-Centric", "HW-Manager", "Direct"],
+    );
+    for total in machine_loads {
+        let rps = total / services.len() as f64;
+        scale.rps = rps;
+        let mut row = vec![format!("{:.0}", total / 1000.0)];
+        for p in policies {
+            let r = harness::run_poisson(p, &services, rps, scale);
+            // Fig 3 divides by the *total* execution time of the
+            // service (including nested waits).
+            let total_latency: f64 = r
+                .per_service
+                .iter()
+                .map(|s| s.mean().as_secs_f64() * s.completed as f64)
+                .sum();
+            let frac = r.total_breakdown().orchestration.as_secs_f64() / total_latency.max(1e-12);
+            row.push(pct(frac));
+        }
+        t.row(&row);
+    }
+    t.print();
+    println!(
+        "paper at 15 kRPS: CPU-Centric {} / HW-Manager {} (Direct small and flat)",
+        pct(paper::FIG3_CPU_CENTRIC_AT_15K),
+        pct(paper::FIG3_HW_MANAGER_AT_15K),
+    );
+}

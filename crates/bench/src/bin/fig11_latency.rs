@@ -1,0 +1,91 @@
+//! Fig 11: P99 tail latency (and average latency) of the eight
+//! SocialNetwork services under the five architectures, driven by
+//! Alibaba-like production invocation rates (13.4 kRPS per service on
+//! average).
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::paper;
+use accelflow_bench::table::{pct, Table};
+use accelflow_core::policy::Policy;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    let arrivals = harness::shared_arrivals(&services, scale);
+    println!(
+        "arrivals: {} requests over {} at {} rps/service\n",
+        arrivals.len(),
+        scale.duration,
+        scale.rps
+    );
+
+    let policies = Policy::HEADLINE;
+    let mut reports = Vec::new();
+    for &p in &policies {
+        let r = harness::run_policy(p, &services, arrivals.clone(), scale);
+        println!(
+            "{:<12} completed {:>7}/{:<7} avg-p99 {:>9.1} us  avg-mean {:>8.1} us",
+            p.name(),
+            r.completed(),
+            r.offered(),
+            harness::avg_p99(&r),
+            harness::avg_mean(&r),
+        );
+        reports.push(r);
+    }
+
+    // Per-service P99 table.
+    let mut t = Table::new(
+        "Fig 11: P99 tail latency (us) per service",
+        &[
+            "service",
+            "Non-acc",
+            "CPU-Centric",
+            "RELIEF",
+            "Cohort",
+            "AccelFlow",
+            "avg(AF)",
+        ],
+    );
+    for (i, svc) in services.iter().enumerate() {
+        let mut row = vec![svc.name.clone()];
+        for r in &reports {
+            row.push(format!("{:.0}", r.per_service[i].p99().as_micros_f64()));
+        }
+        row.push(format!(
+            "{:.0}",
+            reports[4].per_service[i].mean().as_micros_f64()
+        ));
+        t.row(&row);
+    }
+    t.print();
+
+    // Reductions vs paper.
+    let mut t = Table::new(
+        "AccelFlow reductions (average across services)",
+        &[
+            "baseline",
+            "P99 paper",
+            "P99 measured",
+            "mean paper",
+            "mean measured",
+        ],
+    );
+    let af_p99 = harness::avg_p99(&reports[4]);
+    let af_mean = harness::avg_mean(&reports[4]);
+    for (i, (name, paper_p99)) in paper::FIG11_P99_REDUCTION.iter().enumerate() {
+        let base_p99 = harness::avg_p99(&reports[i]);
+        let base_mean = harness::avg_mean(&reports[i]);
+        let red_p99 = 1.0 - af_p99 / base_p99;
+        let red_mean = 1.0 - af_mean / base_mean;
+        t.row(&[
+            name.to_string(),
+            pct(*paper_p99),
+            pct(red_p99),
+            pct(paper::FIG11_MEAN_REDUCTION[i].1),
+            pct(red_mean),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,51 @@
+//! Fig 12: P99 tail latency of the DeathStarBench suites under Low
+//! (5 kRPS), Medium (10 kRPS), and High (15 kRPS) Poisson loads for
+//! the five architectures.
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::paper;
+use accelflow_bench::table::{pct, Table};
+use accelflow_core::policy::Policy;
+use accelflow_workloads::suites;
+
+fn main() {
+    let services = suites::deathstarbench();
+    let scale = Scale::from_env();
+    let loads = [(5_000.0, "Low"), (10_000.0, "Medium"), (15_000.0, "High")];
+
+    let mut t = Table::new(
+        "Fig 12: avg P99 (us) under different loads",
+        &[
+            "load",
+            "Non-acc",
+            "CPU-Centric",
+            "RELIEF",
+            "Cohort",
+            "AccelFlow",
+            "AF vs RELIEF",
+        ],
+    );
+    for (i, (rps, name)) in loads.iter().enumerate() {
+        let mut row = vec![format!("{name} ({:.0}k)", rps / 1000.0)];
+        let mut relief = 0.0;
+        let mut af = 0.0;
+        for p in Policy::HEADLINE {
+            let r = harness::run_poisson(p, &services, *rps, scale);
+            let p99 = harness::avg_p99(&r);
+            if p == Policy::Relief {
+                relief = p99;
+            }
+            if p == Policy::AccelFlow {
+                af = p99;
+            }
+            row.push(format!("{p99:.0}"));
+        }
+        row.push(format!(
+            "{} (paper {})",
+            pct(1.0 - af / relief),
+            pct(paper::FIG12_VS_RELIEF[i].1)
+        ));
+        t.row(&row);
+    }
+    t.print();
+}

@@ -1,0 +1,42 @@
+//! Fig 13: P99 tail latency with the successive addition of AccelFlow
+//! techniques: RELIEF -> +PerAccTypeQ -> +Direct (traces, direct
+//! transfers) -> +CntrFlow (branches in dispatchers) -> AccelFlow
+//! (transforms and large payloads in dispatchers).
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::paper;
+use accelflow_bench::table::{pct, Table};
+use accelflow_core::policy::Policy;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    let arrivals = harness::shared_arrivals(&services, scale);
+
+    let mut relief_p99 = 0.0;
+    let mut t = Table::new(
+        "Fig 13: ablation ladder (avg P99 across services)",
+        &["design", "avg P99 (us)", "cumulative reduction", "paper"],
+    );
+    for (i, p) in Policy::ABLATION.iter().enumerate() {
+        let r = harness::run_policy(*p, &services, arrivals.clone(), scale);
+        let p99 = harness::avg_p99(&r);
+        if i == 0 {
+            relief_p99 = p99;
+        }
+        let reduction = 1.0 - p99 / relief_p99;
+        let paper_txt = if i == 0 {
+            "baseline".to_string()
+        } else {
+            pct(paper::FIG13_CUMULATIVE_REDUCTION[i - 1].1)
+        };
+        t.row(&[
+            p.name().to_string(),
+            format!("{p99:.0}"),
+            pct(reduction),
+            paper_txt,
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,50 @@
+//! Fig 17: breakdown of a service's execution time in AccelFlow (CPU,
+//! accelerators, orchestration logic, communication), measured on an
+//! unloaded system — plus RELIEF's orchestration share for contrast.
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::paper;
+use accelflow_bench::table::{pct, Table};
+use accelflow_core::policy::Policy;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let mut scale = Scale::from_env();
+    scale.rps = 120.0; // unloaded: one request at a time in expectation
+    let af = harness::run_poisson(Policy::AccelFlow, &services, scale.rps, scale);
+    let relief = harness::run_poisson(Policy::Relief, &services, scale.rps, scale);
+
+    let mut t = Table::new(
+        "Fig 17: AccelFlow on-server execution-time breakdown (unloaded)",
+        &[
+            "service",
+            "CPU",
+            "accelerators",
+            "orchestration",
+            "communication",
+        ],
+    );
+    let mut orch_avg = 0.0;
+    for s in &af.per_service {
+        let b = &s.breakdown;
+        let total = b.on_server().as_secs_f64().max(1e-12);
+        orch_avg += b.orchestration.as_secs_f64() / total / af.per_service.len() as f64;
+        t.row(&[
+            s.name.clone(),
+            pct(b.cpu.as_secs_f64() / total),
+            pct(b.accel.as_secs_f64() / total),
+            pct(b.orchestration.as_secs_f64() / total),
+            pct(b.communication.as_secs_f64() / total),
+        ]);
+    }
+    t.print();
+    let relief_orch = relief.total_breakdown().orchestration_fraction();
+    println!(
+        "AccelFlow orchestration share: {} (paper {}); RELIEF: {} (paper ~{})",
+        pct(orch_avg),
+        pct(paper::FIG17_ORCH_SHARE),
+        pct(relief_orch),
+        pct(paper::FIG17_RELIEF_ORCH_SHARE),
+    );
+}

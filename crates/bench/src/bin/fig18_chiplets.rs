@@ -1,0 +1,47 @@
+//! Fig 18: P99 tail latency for different organizations of the
+//! accelerators into chiplets (1, 2, 3, 4, 6).
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::paper;
+use accelflow_bench::table::{pct, Table};
+use accelflow_core::machine::Machine;
+use accelflow_core::policy::Policy;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    let arrivals = harness::shared_arrivals(&services, scale);
+
+    let mut t = Table::new(
+        "Fig 18: avg P99 (us) vs chiplet organization",
+        &["chiplets", "avg P99 (us)", "vs 2-chiplet"],
+    );
+    let mut two = 0.0;
+    for chiplets in [1usize, 2, 3, 4, 6] {
+        let mut cfg = harness::machine_config(Policy::AccelFlow, scale);
+        cfg.chiplets = chiplets;
+        let r = Machine::run_arrivals(
+            &cfg,
+            &services,
+            arrivals.clone(),
+            scale.duration,
+            scale.seed,
+        );
+        let p99 = harness::avg_p99(&r);
+        if chiplets == 2 {
+            two = p99;
+        }
+        let delta = if two > 0.0 {
+            format!("{:+.1}%", (p99 / two - 1.0) * 100.0)
+        } else {
+            "-".into()
+        };
+        t.row(&[chiplets.to_string(), format!("{p99:.0}"), delta]);
+    }
+    t.print();
+    println!(
+        "paper: 2 -> 6 chiplets increases tail latency by {} on average",
+        pct(paper::FIG18_2_TO_6_CHIPLETS)
+    );
+}

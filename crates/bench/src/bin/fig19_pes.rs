@@ -1,0 +1,79 @@
+//! Fig 19: P99 tail latency with 2, 4, or 8 PEs per accelerator, plus
+//! the text's fallback rates, deadline misses, and throughput deltas.
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::paper;
+use accelflow_bench::table::{pct, Table};
+use accelflow_core::machine::{Machine, MachineConfig};
+use accelflow_core::policy::Policy;
+use accelflow_sim::time::SimDuration;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    let arrivals = harness::shared_arrivals(&services, scale);
+
+    let mut slo_services = services.clone();
+    for s in &mut slo_services {
+        s.slo_slack = Some(5.0);
+    }
+
+    let mut t = Table::new(
+        "Fig 19: PE-count sensitivity",
+        &[
+            "PEs",
+            "avg P99 (us)",
+            "vs 8 PEs",
+            "fallback %",
+            "deadline misses %",
+            "max kRPS",
+            "tput drop",
+        ],
+    );
+    let mut base_p99 = 0.0;
+    let mut base_tput = 0.0;
+    for pes in [8usize, 4, 2] {
+        let mut cfg = harness::machine_config(Policy::AccelFlow, scale);
+        cfg.arch.pes_per_accelerator = pes;
+        let r = Machine::run_arrivals(
+            &cfg,
+            &slo_services,
+            arrivals.clone(),
+            scale.duration,
+            scale.seed,
+        );
+        let p99 = harness::avg_p99(&r);
+        let fallback = r.fallback_fraction();
+        let misses: u64 = r.per_service.iter().map(|s| s.deadline_misses).sum();
+        let completed = r.completed().max(1);
+
+        let mut tcfg = MachineConfig::new(Policy::AccelFlow);
+        tcfg.warmup = SimDuration::from_millis(5);
+        tcfg.arch.pes_per_accelerator = pes;
+        let tput = harness::max_throughput_with(&tcfg, &services, 5.0, scale.seed);
+        if pes == 8 {
+            base_p99 = p99;
+            base_tput = tput;
+        }
+        t.row(&[
+            pes.to_string(),
+            format!("{p99:.0}"),
+            format!("{:+.1}%", (p99 / base_p99 - 1.0) * 100.0),
+            pct(fallback),
+            pct(misses as f64 / completed as f64),
+            format!("{:.1}", tput / 1000.0),
+            format!("{:+.1}%", (tput / base_tput - 1.0) * 100.0),
+        ]);
+    }
+    t.print();
+    println!(
+        "paper: P99 +{} (4 PEs) / +{} (2 PEs); deadline misses {} / {}; throughput -{} / -{}",
+        pct(paper::FIG19_P99_4PES),
+        pct(paper::FIG19_P99_2PES),
+        pct(paper::FIG19_DEADLINE_MISSES[0].1),
+        pct(paper::FIG19_DEADLINE_MISSES[1].1),
+        pct(paper::FIG19_THROUGHPUT_DROP[0].1),
+        pct(paper::FIG19_THROUGHPUT_DROP[1].1),
+    );
+}

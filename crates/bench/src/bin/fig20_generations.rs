@@ -1,0 +1,60 @@
+//! Fig 20: P99 tail latency of Non-acc, RELIEF, and AccelFlow across
+//! CPU generations (Haswell ... Emerald Rapids); AccelFlow's advantage
+//! grows on newer cores because tax code benefits less than app logic.
+
+use accelflow_arch::config::CpuGeneration;
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::paper;
+use accelflow_bench::table::{pct, Table};
+use accelflow_core::machine::Machine;
+use accelflow_core::policy::Policy;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    let arrivals = harness::shared_arrivals(&services, scale);
+
+    let mut t = Table::new(
+        "Fig 20: avg P99 (us) across CPU generations",
+        &[
+            "generation",
+            "Non-acc",
+            "RELIEF",
+            "AccelFlow",
+            "AF vs RELIEF",
+        ],
+    );
+    for generation in CpuGeneration::ALL {
+        let mut row = vec![generation.name().to_string()];
+        let mut relief = 0.0;
+        let mut af = 0.0;
+        for p in [Policy::NonAcc, Policy::Relief, Policy::AccelFlow] {
+            let mut cfg = harness::machine_config(p, scale);
+            cfg.arch.generation = generation;
+            let r = Machine::run_arrivals(
+                &cfg,
+                &services,
+                arrivals.clone(),
+                scale.duration,
+                scale.seed,
+            );
+            let p99 = harness::avg_p99(&r);
+            if p == Policy::Relief {
+                relief = p99;
+            }
+            if p == Policy::AccelFlow {
+                af = p99;
+            }
+            row.push(format!("{p99:.0}"));
+        }
+        row.push(pct(1.0 - af / relief));
+        t.row(&row);
+    }
+    t.print();
+    println!(
+        "paper: AF vs RELIEF {} on IceLake -> {} on EmeraldRapids",
+        pct(paper::FIG20_ICELAKE),
+        pct(paper::FIG20_EMERALD)
+    );
+}

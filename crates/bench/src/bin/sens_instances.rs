@@ -1,0 +1,51 @@
+//! Extension: accelerator instance-count sensitivity (paper §IV-A
+//! provisions "one or more instances of all the accelerators"; the
+//! Enqueue retry loop spans instances of a type). Sweeps instance
+//! count on a lean per-instance configuration.
+
+use accelflow_bench::table::{pct, Table};
+use accelflow_core::machine::{Machine, MachineConfig};
+use accelflow_core::policy::Policy;
+use accelflow_sim::time::SimDuration;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let mut t = Table::new(
+        "Instance-count sweep (2 PEs per instance, 13.4 kRPS/svc)",
+        &[
+            "instances/type",
+            "avg p99 (us)",
+            "mean (us)",
+            "fallback share",
+        ],
+    );
+    for instances in [1usize, 2, 4] {
+        let mut cfg = MachineConfig::new(Policy::AccelFlow);
+        cfg.warmup = SimDuration::from_millis(5);
+        cfg.instances_per_accel = instances;
+        cfg.arch.pes_per_accelerator = 2;
+        let r = Machine::run_workload(&cfg, &services, 13_400.0, SimDuration::from_millis(80), 42);
+        let p99: f64 = r
+            .per_service
+            .iter()
+            .map(|s| s.p99().as_micros_f64())
+            .sum::<f64>()
+            / r.per_service.len() as f64;
+        let mean: f64 = r
+            .per_service
+            .iter()
+            .map(|s| s.mean().as_micros_f64())
+            .sum::<f64>()
+            / r.per_service.len() as f64;
+        t.row(&[
+            instances.to_string(),
+            format!("{p99:.0}"),
+            format!("{mean:.0}"),
+            pct(r.fallback_fraction()),
+        ]);
+    }
+    t.print();
+    println!("Four 2-PE instances match the capacity of the baseline 8-PE design");
+    println!("while shortening per-instance queues.");
+}

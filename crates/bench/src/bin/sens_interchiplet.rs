@@ -1,0 +1,53 @@
+//! §VII-C2: inter-chiplet latency sensitivity — P99 for 2- and
+//! 6-chiplet organizations as the inter-chiplet link latency sweeps
+//! from 20 to 100 cycles.
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::paper;
+use accelflow_bench::table::{pct, Table};
+use accelflow_core::machine::Machine;
+use accelflow_core::policy::Policy;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    let arrivals = harness::shared_arrivals(&services, scale);
+
+    let mut t = Table::new(
+        "Inter-chiplet latency sweep: avg P99 (us)",
+        &["cycles", "2-chiplet", "6-chiplet"],
+    );
+    let mut six_at = std::collections::BTreeMap::new();
+    for cycles in [20.0f64, 60.0, 100.0] {
+        let mut row = vec![format!("{cycles:.0}")];
+        for chiplets in [2usize, 6] {
+            let mut cfg = harness::machine_config(Policy::AccelFlow, scale);
+            cfg.chiplets = chiplets;
+            cfg.arch.inter_chiplet_cycles = cycles;
+            // Slower links also carry less bandwidth (flit-clocked,
+            // partially compensated by deeper pipelining).
+            cfg.arch.inter_chiplet_bw *= (60.0 / cycles).powf(0.25);
+            let r = Machine::run_arrivals(
+                &cfg,
+                &services,
+                arrivals.clone(),
+                scale.duration,
+                scale.seed,
+            );
+            let p99 = harness::avg_p99(&r);
+            if chiplets == 6 {
+                six_at.insert(cycles as u64, p99);
+            }
+            row.push(format!("{p99:.0}"));
+        }
+        t.row(&row);
+    }
+    t.print();
+    let grow = six_at[&100] / six_at[&60] - 1.0;
+    println!(
+        "6-chiplet, 60 -> 100 cycles: {} (paper {})",
+        pct(grow),
+        pct(paper::INTERCHIPLET_60_TO_100)
+    );
+}

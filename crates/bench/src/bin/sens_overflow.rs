@@ -1,0 +1,47 @@
+//! Extension: overflow-area sizing (paper §IV-A provisions an overflow
+//! area per input queue; §VII-B6 reports how often it is exercised).
+//! Sweeps the overflow capacity on a lean ensemble under heavy load.
+
+use accelflow_bench::table::{pct, Table};
+use accelflow_core::machine::{Machine, MachineConfig};
+use accelflow_core::policy::Policy;
+use accelflow_sim::time::SimDuration;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = vec![socialnetwork::read_home_timeline(), socialnetwork::login()];
+    let mut t = Table::new(
+        "Overflow-area sizing (2-PE ensemble, heavy load)",
+        &[
+            "overflow entries",
+            "overflows",
+            "rejected->fallback",
+            "fallback share",
+            "p99 (us)",
+        ],
+    );
+    for overflow in [0usize, 8, 64, 256] {
+        let mut cfg = MachineConfig::new(Policy::AccelFlow);
+        cfg.warmup = SimDuration::from_millis(5);
+        cfg.arch.pes_per_accelerator = 2;
+        cfg.arch.input_queue_entries = 8;
+        cfg.arch.overflow_entries = overflow;
+        let r = Machine::run_workload(&cfg, &services, 40_000.0, SimDuration::from_millis(60), 9);
+        let p99: f64 = r
+            .per_service
+            .iter()
+            .map(|s| s.p99().as_micros_f64())
+            .sum::<f64>()
+            / r.per_service.len() as f64;
+        t.row(&[
+            overflow.to_string(),
+            r.totals.overflows.to_string(),
+            r.totals.fallbacks.to_string(),
+            pct(r.fallback_fraction()),
+            format!("{p99:.0}"),
+        ]);
+    }
+    t.print();
+    println!("A larger overflow area trades CPU fallbacks for queueing: fallbacks");
+    println!("drop as the area grows, and the tail reflects the queue depth.");
+}

@@ -1,0 +1,53 @@
+//! §VII-C5: accelerator-speedup sensitivity — AccelFlow vs RELIEF
+//! max throughput as every accelerator's speedup scales by 0.25x to 4x.
+
+use accelflow_bench::harness;
+use accelflow_bench::paper;
+use accelflow_bench::table::{ratio, Table};
+use accelflow_core::machine::MachineConfig;
+use accelflow_core::policy::Policy;
+use accelflow_sim::time::SimDuration;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let seed = std::env::var("ACCELFLOW_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let mut t = Table::new(
+        "Speedup sweep: AccelFlow gain over RELIEF (max throughput)",
+        &[
+            "speedup scale",
+            "RELIEF kRPS",
+            "AccelFlow kRPS",
+            "gain",
+            "paper",
+        ],
+    );
+    for (scale_f, paper_gain) in [
+        (0.25, Some(1.4)),
+        (0.5, None),
+        (1.0, Some(2.2)),
+        (2.0, None),
+        (4.0, Some(3.9)),
+    ] {
+        let tput = |p: Policy| {
+            let mut cfg = MachineConfig::new(p);
+            cfg.warmup = SimDuration::from_millis(5);
+            cfg.speedup_scale = scale_f;
+            harness::max_throughput_with(&cfg, &services, 5.0, seed)
+        };
+        let relief = tput(Policy::Relief);
+        let af = tput(Policy::AccelFlow);
+        t.row(&[
+            format!("{scale_f}x"),
+            format!("{:.1}", relief / 1000.0),
+            format!("{:.1}", af / 1000.0),
+            ratio(af / relief),
+            paper_gain.map(ratio).unwrap_or_default(),
+        ]);
+    }
+    t.print();
+    let _ = paper::SPEEDUP_SWEEP_GAINS;
+}

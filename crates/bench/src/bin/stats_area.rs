@@ -1,0 +1,64 @@
+//! §VI: area overhead of AccelFlow — the McPAT-derived accounting.
+
+use accelflow_arch::area::area_report;
+use accelflow_arch::config::ArchConfig;
+use accelflow_bench::table::{pct, Table};
+
+fn main() {
+    let r = area_report(&ArchConfig::icelake());
+    let mut t = Table::new(
+        "§VI: SoC area accounting (mm², 7nm-scaled)",
+        &["component", "mm^2", "paper"],
+    );
+    t.row(&[
+        "cores + private caches".into(),
+        format!("{:.1}", r.cores.0),
+        "83.1".into(),
+    ]);
+    t.row(&["LLC".into(), format!("{:.1}", r.llc.0), "38.2".into()]);
+    t.row(&[
+        "core network".into(),
+        format!("{:.1}", r.core_network.0),
+        "1.0".into(),
+    ]);
+    t.row(&[
+        "nine accelerators (8 PEs each)".into(),
+        format!("{:.1}", r.accelerators.0),
+        "44.9".into(),
+    ]);
+    t.row(&[
+        "queues + dispatchers".into(),
+        format!("{:.1}", r.queues_dispatchers.0),
+        "3.4".into(),
+    ]);
+    t.row(&[
+        "10 A-DMA engines".into(),
+        format!("{:.1}", r.dma_engines.0),
+        "1.3".into(),
+    ]);
+    t.row(&[
+        "accelerator network".into(),
+        format!("{:.1}", r.accel_network.0),
+        "0.4".into(),
+    ]);
+    t.row(&["TOTAL".into(), format!("{:.1}", r.total().0), "~173".into()]);
+    t.print();
+
+    let mut t = Table::new("§VI shares", &["metric", "measured", "paper"]);
+    t.row(&[
+        "ensemble share of SoC".into(),
+        pct(r.ensemble_share()),
+        "29.0%".into(),
+    ]);
+    t.row(&[
+        "accelerators share".into(),
+        pct(r.accelerator_share()),
+        "26.1%".into(),
+    ]);
+    t.row(&[
+        "AccelFlow orchestration overhead".into(),
+        pct(r.orchestration_share()),
+        "<=2.9%".into(),
+    ]);
+    t.print();
+}

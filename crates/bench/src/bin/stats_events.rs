@@ -1,0 +1,72 @@
+//! §VII-B6: frequency of high-overhead events — overflow-area
+//! fallbacks, page faults, TCP timeouts, TLB miss rates — under the
+//! production-trace load and at peak load.
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::paper;
+use accelflow_bench::table::{pct, Table};
+use accelflow_core::policy::Policy;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    let avg = harness::run_poisson(Policy::AccelFlow, &services, scale.rps, scale);
+    let seed = scale.seed;
+    let peak_rps = harness::max_throughput(Policy::AccelFlow, &services, 5.0, seed);
+    let peak = harness::run_poisson(Policy::AccelFlow, &services, peak_rps, scale);
+
+    let invocations =
+        |r: &accelflow_core::stats::RunReport| r.totals.accel_jobs.iter().sum::<u64>().max(1);
+    let overflow_share = |r: &accelflow_core::stats::RunReport| {
+        (r.totals.overflows + r.totals.fallbacks) as f64 / invocations(r) as f64
+    };
+    let mut t = Table::new(
+        "§VII-B6: high-overhead events",
+        &["event", "measured", "paper"],
+    );
+    t.row(&[
+        "overflow/fallback share (trace load)".into(),
+        pct(overflow_share(&avg)),
+        pct(paper::OVERFLOW_SHARE_AVG),
+    ]);
+    t.row(&[
+        "overflow/fallback share (peak)".into(),
+        pct(overflow_share(&peak)),
+        pct(paper::OVERFLOW_SHARE_PEAK),
+    ]);
+    t.row(&[
+        "page faults".into(),
+        format!(
+            "{} ({:.2}/M invocations)",
+            avg.totals.page_faults,
+            avg.totals.page_faults as f64 / invocations(&avg) as f64 * 1e6
+        ),
+        "0.13 / M instructions".into(),
+    ]);
+    t.row(&[
+        "TCP timeouts".into(),
+        format!(
+            "{} ({:.1}/M requests)",
+            avg.totals.tcp_timeouts,
+            avg.totals.tcp_timeouts as f64 / avg.completed().max(1) as f64 * 1e6
+        ),
+        "3.2 / M requests".into(),
+    ]);
+    let (hits, misses) = avg
+        .totals
+        .tlb
+        .iter()
+        .fold((0u64, 0u64), |(h, m), (a, b)| (h + a, m + b));
+    t.row(&[
+        "accelerator TLB miss ratio".into(),
+        pct(misses as f64 / (hits + misses).max(1) as f64),
+        "(paper: 3.4 D-MPKI)".into(),
+    ]);
+    t.row(&[
+        "tenant scratchpad wipes".into(),
+        avg.totals.tenant_wipes.to_string(),
+        String::new(),
+    ]);
+    t.print();
+}

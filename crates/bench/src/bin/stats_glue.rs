@@ -1,0 +1,46 @@
+//! §VII-B2: glue-instruction accounting — average instructions per
+//! output-dispatcher operation, ATM reads, and the cost taxonomy.
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::paper;
+use accelflow_bench::table::Table;
+use accelflow_core::policy::Policy;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    let r = harness::run_poisson(Policy::AccelFlow, &services, scale.rps, scale);
+    let mut t = Table::new(
+        "§VII-B2: dispatcher glue instructions",
+        &["metric", "measured", "paper"],
+    );
+    t.row(&[
+        "avg instructions / dispatch".into(),
+        format!("{:.1}", r.totals.mean_glue_instructions()),
+        format!("{:.0}", paper::GLUE_AVG_INSTRUCTIONS),
+    ]);
+    t.row(&[
+        "dispatches".into(),
+        r.totals.dispatches.to_string(),
+        String::new(),
+    ]);
+    t.row(&[
+        "ATM reads".into(),
+        r.totals.atm_reads.to_string(),
+        String::new(),
+    ]);
+    t.row(&["plain hop".into(), "15 instrs".into(), "~15".into()]);
+    t.row(&[
+        "branch".into(),
+        "+7 (named) / +9 (custom)".into(),
+        "+7".into(),
+    ]);
+    t.row(&[
+        "end of trace".into(),
+        "14 (chain) / 18 (to CPU)".into(),
+        "12-20".into(),
+    ]);
+    t.row(&["transform (2KB)".into(), "+12".into(), "+12".into()]);
+    t.print();
+}

@@ -1,0 +1,67 @@
+//! Table I: the source/destination accelerators of each accelerator,
+//! derived from the T1–T12 trace library.
+//!
+//! The paper derives this matrix from 80+ services; ours comes from
+//! the twelve templates (which always run TLS, so e.g. TCP's only
+//! accelerator source is Encr — the paper also sees plaintext Ser/Cmp
+//! feeds). The point the table makes — inter-accelerator connections
+//! must be flexible, many-to-many — holds identically.
+
+use accelflow_bench::table::Table;
+use accelflow_trace::kind::AccelKind;
+use accelflow_trace::templates::{Neighbor, TraceLibrary};
+
+fn main() {
+    let lib = TraceLibrary::standard();
+    let matrix = lib.connectivity();
+
+    let paper: &[(&str, &str, &str)] = &[
+        ("TCP", "Ser, Encr, Cmp", "LdB, Decr, Dser, Dcmp"),
+        ("Encr", "TCP, RPC, Ser", "TCP, RPC"),
+        ("Decr", "TCP", "RPC, Dser"),
+        ("RPC", "Decr, Ser", "Encr, Deser, LdB"),
+        ("Ser", "Deser, Cmp, CPU", "TCP, Encr, RPC"),
+        ("Dser", "TCP, Decr, RPC", "Ser, Dcmp, LdB"),
+        ("Cmp", "Deser, CPU", "Ser, LdB, CPU, TCP"),
+        ("Dcmp", "Deser, TCP, CPU", "(De)Ser, LdB, CPU, TCP"),
+        ("LdB", "TCP, Dser, Dcmp", "CPU"),
+    ];
+
+    let fmt = |set: &std::collections::BTreeSet<Neighbor>| {
+        set.iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+
+    let mut t = Table::new(
+        "Table I: source/destination accelerators (measured from the trace library)",
+        &[
+            "accelerator",
+            "src (measured)",
+            "dst (measured)",
+            "src (paper)",
+            "dst (paper)",
+        ],
+    );
+    for (i, kind) in AccelKind::ALL.iter().enumerate() {
+        let (src, dst) = &matrix[kind];
+        t.row(&[
+            kind.to_string(),
+            fmt(src),
+            fmt(dst),
+            paper[i].1.to_string(),
+            paper[i].2.to_string(),
+        ]);
+    }
+    t.print();
+
+    let many_to_many = matrix
+        .values()
+        .filter(|(src, dst)| src.len() > 1 || dst.len() > 1)
+        .count();
+    println!(
+        "{many_to_many}/9 accelerators have multiple sources or destinations \
+         -> connections must be flexible (the paper's conclusion)."
+    );
+}

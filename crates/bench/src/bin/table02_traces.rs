@@ -1,0 +1,66 @@
+//! Table II: the complete list of traces the services use, with their
+//! structure, branch conditions, packed encodings, and resolved paths.
+
+use accelflow_bench::table::Table;
+use accelflow_trace::cond::PayloadFlags;
+use accelflow_trace::ir::PathStep;
+use accelflow_trace::packed;
+use accelflow_trace::templates::{TemplateId, TraceLibrary};
+
+fn main() {
+    let lib = TraceLibrary::standard();
+    let mut t = Table::new(
+        "Table II: trace library",
+        &[
+            "trace",
+            "explanation",
+            "accels",
+            "branches",
+            "packed (bytes)",
+            "paths",
+        ],
+    );
+    for id in TemplateId::ALL {
+        let trace = lib.entry(id);
+        let bytes = packed::pack(trace).expect("all templates pack");
+        t.row(&[
+            id.name().to_string(),
+            id.description().to_string(),
+            trace.accelerator_count().to_string(),
+            trace.branch_count().to_string(),
+            bytes.len().to_string(),
+            trace.all_paths().len().to_string(),
+        ]);
+    }
+    t.print();
+
+    // Show the resolved common path of each template.
+    let mut t = Table::new("Common-case resolved paths", &["trace", "path"]);
+    let common = PayloadFlags {
+        hit: true,
+        found: true,
+        ..PayloadFlags::default()
+    };
+    for id in TemplateId::ALL {
+        let path: Vec<String> = lib
+            .entry(id)
+            .resolve_path(&common)
+            .iter()
+            .map(|s| match s {
+                PathStep::Accel(k) => k.to_string(),
+                PathStep::Cpu => "CPU".into(),
+                PathStep::Chain(a) => format!("chain({a})"),
+            })
+            .collect();
+        t.row(&[id.name().to_string(), path.join(" -> ")]);
+    }
+    t.print();
+    println!(
+        "ATM holds {} resident traces; {} of 12 templates contain branches.",
+        lib.atm().occupied(),
+        TemplateId::ALL
+            .iter()
+            .filter(|&&id| lib.entry(id).branch_count() > 0)
+            .count()
+    );
+}

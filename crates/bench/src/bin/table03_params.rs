@@ -1,0 +1,80 @@
+//! Table III: the architectural parameters in force.
+
+use accelflow_arch::config::ArchConfig;
+use accelflow_bench::table::Table;
+
+fn main() {
+    let c = ArchConfig::icelake();
+    let mut t = Table::new(
+        "Table III: architectural parameters",
+        &["parameter", "value", "paper"],
+    );
+    let rows: Vec<(&str, String, &str)> = vec![
+        (
+            "cores",
+            format!("{} @ {}", c.cores, c.core_clock),
+            "36 @ 2.4GHz",
+        ),
+        (
+            "accel queues",
+            format!(
+                "{} in / {} out",
+                c.input_queue_entries, c.output_queue_entries
+            ),
+            "64 in / 64 out",
+        ),
+        (
+            "queue entry inline",
+            format!("{} B", c.queue_entry_inline_bytes),
+            "2 KB",
+        ),
+        ("A-DMA engines", c.dma_engines.to_string(), "10"),
+        ("PEs / accelerator", c.pes_per_accelerator.to_string(), "8"),
+        (
+            "scratchpad / PE",
+            format!("{} KB", c.scratchpad_bytes / 1024),
+            "64 KB",
+        ),
+        (
+            "queue->scratchpad",
+            format!(
+                "{} + {:.0} GB/s",
+                c.queue_to_scratchpad_latency,
+                c.queue_to_scratchpad_bw / 1e9
+            ),
+            "10 ns, 100 GB/s",
+        ),
+        (
+            "notification",
+            format!("{} cycles", c.notification_cycles),
+            "avg 80 cycles",
+        ),
+        (
+            "intra-chiplet mesh",
+            format!(
+                "{} cycles/hop, {} B links",
+                c.mesh_hop_cycles, c.mesh_link_bytes
+            ),
+            "3 cycles/hop, 16B",
+        ),
+        (
+            "inter-chiplet",
+            format!("{} cycles", c.inter_chiplet_cycles),
+            "60 cycles",
+        ),
+        (
+            "memory BW",
+            format!("{:.1} GB/s", c.memory_bw / 1e9),
+            "4 x 102.4 GB/s",
+        ),
+        (
+            "accel TLB",
+            format!("{} entries, {}-way", c.accel_tlb_entries, c.accel_tlb_ways),
+            "2048, 8-way (L2/IOTLB)",
+        ),
+    ];
+    for (k, v, p) in rows {
+        t.row(&[k.to_string(), v, p.to_string()]);
+    }
+    t.print();
+}

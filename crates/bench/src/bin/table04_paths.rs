@@ -1,0 +1,36 @@
+//! Table IV: most-common execution path per service and the number of
+//! accelerators used per service invocation.
+
+use accelflow_accel::timing::ServiceTimeModel;
+use accelflow_bench::table::Table;
+use accelflow_sim::rng::SimRng;
+use accelflow_sim::time::Frequency;
+use accelflow_trace::templates::TraceLibrary;
+use accelflow_workloads::socialnetwork;
+
+fn main() {
+    let lib = TraceLibrary::standard();
+    let timing = ServiceTimeModel::calibrated(Frequency::from_ghz(2.4));
+    let paper = [87usize, 28, 18, 30, 29, 19, 9, 25];
+    let mut t = Table::new(
+        "Table IV: execution paths and accelerator counts",
+        &["service", "path", "# accels (measured avg)", "# (paper)"],
+    );
+    let mut rng = SimRng::seed(1);
+    for (svc, paper_n) in socialnetwork::all().iter().zip(paper) {
+        let n = 400;
+        let total: usize = (0..n)
+            .map(|i| {
+                svc.sample(&lib, &timing, &mut rng, (i as u64) << 32)
+                    .accelerator_invocations()
+            })
+            .sum();
+        t.row(&[
+            svc.name.clone(),
+            svc.path_string(&lib),
+            format!("{:.1}", total as f64 / n as f64),
+            paper_n.to_string(),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,356 @@
+//! Standard experiment plumbing: run scales, policy runs with common
+//! random numbers, unloaded-latency probes, and the SLO-bounded
+//! max-throughput search (paper Fig 14: "the maximum load without
+//! violating the SLO", SLO = 5× the unloaded service execution time).
+
+use accelflow_accel::timing::ServiceTimeModel;
+use accelflow_core::machine::{Arrival, Machine, MachineConfig};
+use accelflow_core::policy::Policy;
+use accelflow_core::request::ServiceSpec;
+use accelflow_core::stats::RunReport;
+use accelflow_sim::time::SimDuration;
+use accelflow_trace::templates::TraceLibrary;
+use accelflow_workloads::arrivals::{bursty_arrivals, BurstyProfile};
+
+/// The run scale of an experiment (duration, warmup, per-service load).
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Arrival window.
+    pub duration: SimDuration,
+    /// Warmup excluded from measurement.
+    pub warmup: SimDuration,
+    /// Mean requests/second per service (the paper's real-trace average
+    /// is 13.4 kRPS).
+    pub rps: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// The default experiment scale; override with the environment
+    /// variables `ACCELFLOW_DURATION_MS`, `ACCELFLOW_RPS`, and
+    /// `ACCELFLOW_SEED`.
+    pub fn from_env() -> Self {
+        let ms = std::env::var("ACCELFLOW_DURATION_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(160u64);
+        let rps = std::env::var("ACCELFLOW_RPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(13_400.0f64);
+        let seed = std::env::var("ACCELFLOW_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(42u64);
+        Scale {
+            duration: SimDuration::from_millis(ms),
+            warmup: SimDuration::from_millis((ms / 8).max(2)),
+            rps,
+            seed,
+        }
+    }
+
+    /// A small scale for tests and criterion benches.
+    pub fn quick() -> Self {
+        Scale {
+            duration: SimDuration::from_millis(40),
+            warmup: SimDuration::from_millis(4),
+            rps: 2_000.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A machine config at this scale for a policy.
+pub fn machine_config(policy: Policy, scale: Scale) -> MachineConfig {
+    let mut cfg = MachineConfig::new(policy);
+    cfg.warmup = scale.warmup;
+    cfg
+}
+
+/// Generates the Alibaba-like bursty arrivals once, so every policy
+/// sees the same requests (common random numbers).
+pub fn shared_arrivals(services: &[ServiceSpec], scale: Scale) -> Vec<Arrival> {
+    let lib = TraceLibrary::standard();
+    let timing =
+        ServiceTimeModel::calibrated(accelflow_arch::config::ArchConfig::icelake().core_clock);
+    bursty_arrivals(
+        services,
+        &lib,
+        &timing,
+        scale.rps,
+        scale.duration,
+        scale.seed,
+        &BurstyProfile::alibaba_like(),
+    )
+}
+
+/// Runs one policy over a shared arrival list.
+pub fn run_policy(
+    policy: Policy,
+    services: &[ServiceSpec],
+    arrivals: Vec<Arrival>,
+    scale: Scale,
+) -> RunReport {
+    let cfg = machine_config(policy, scale);
+    Machine::run_arrivals(&cfg, services, arrivals, scale.duration, scale.seed)
+}
+
+/// Runs one policy with its own Poisson arrivals at `rps` per service.
+pub fn run_poisson(policy: Policy, services: &[ServiceSpec], rps: f64, scale: Scale) -> RunReport {
+    let cfg = machine_config(policy, scale);
+    Machine::run_workload(&cfg, services, rps, scale.duration, scale.seed)
+}
+
+/// Per-service mean latency on an unloaded system (one request in
+/// flight at a time, in expectation).
+pub fn unloaded_means(policy: Policy, services: &[ServiceSpec], seed: u64) -> Vec<SimDuration> {
+    let mut cfg = MachineConfig::new(policy);
+    cfg.warmup = SimDuration::from_millis(1);
+    let report = Machine::run_workload(
+        &cfg,
+        services,
+        120.0, // light enough that requests almost never overlap
+        SimDuration::from_millis(120),
+        seed,
+    );
+    report.per_service.iter().map(|s| s.mean()).collect()
+}
+
+/// Per-service P99 latency on an unloaded system — the baseline for
+/// the SLO check (comparing loaded P99 against unloaded P99 makes the
+/// check robust to the workload's intrinsic stragglers).
+pub fn unloaded_p99s(cfg: &MachineConfig, services: &[ServiceSpec], seed: u64) -> Vec<SimDuration> {
+    let mut u = cfg.clone();
+    u.warmup = SimDuration::from_millis(1);
+    // Long light-load run: the P99 estimate needs enough samples per
+    // service to capture the workload's intrinsic stragglers.
+    let report = Machine::run_workload(&u, services, 400.0, SimDuration::from_millis(1_500), seed);
+    report.per_service.iter().map(|s| s.p99()).collect()
+}
+
+/// Whether a run meets the SLO: every service's P99 within
+/// `slo_mult ×` its unloaded mean, and (almost) nothing left behind.
+pub fn meets_slo(report: &RunReport, unloaded: &[SimDuration], slo_mult: f64) -> bool {
+    if report.completion_ratio() < 0.97 {
+        return false;
+    }
+    report.per_service.iter().zip(unloaded).all(|(s, u)| {
+        if s.completed < 200 {
+            return true; // not enough signal to fail a service
+        }
+        s.p99() <= *u * slo_mult
+    })
+}
+
+/// Binary-searches the maximum per-service load (requests/second) that
+/// still meets the SLO (paper Fig 14; SLO = 5× unloaded).
+pub fn max_throughput(policy: Policy, services: &[ServiceSpec], slo_mult: f64, seed: u64) -> f64 {
+    let mut cfg = MachineConfig::new(policy);
+    cfg.warmup = SimDuration::from_millis(5);
+    max_throughput_with(&cfg, services, slo_mult, seed)
+}
+
+/// [`max_throughput`] with an explicit machine configuration (smaller
+/// machines for tests, PE sweeps for Fig 19, deadline scheduling for
+/// §VII-A3).
+pub fn max_throughput_with(
+    cfg: &MachineConfig,
+    services: &[ServiceSpec],
+    slo_mult: f64,
+    seed: u64,
+) -> f64 {
+    let unloaded = unloaded_p99s(cfg, services, seed);
+    let probe = |rps: f64| {
+        // Adapt the window so every service collects enough samples
+        // for a stable P99 (low-rate probes need longer windows).
+        let ms = ((400.0 / rps) * 1000.0).clamp(80.0, 2_000.0) as u64;
+        let report = Machine::run_workload(cfg, services, rps, SimDuration::from_millis(ms), seed);
+        meets_slo(&report, &unloaded, slo_mult)
+    };
+    // Exponential bracket then bisection.
+    let mut lo = 100.0;
+    if !probe(lo) {
+        return lo;
+    }
+    let mut hi = lo;
+    for _ in 0..12 {
+        hi *= 2.0;
+        if !probe(hi) {
+            break;
+        }
+        lo = hi;
+    }
+    for _ in 0..7 {
+        let mid = (lo + hi) / 2.0;
+        if probe(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Average P99 across services, as a single figure of merit.
+pub fn avg_p99(report: &RunReport) -> f64 {
+    let xs: Vec<f64> = report
+        .per_service
+        .iter()
+        .filter(|s| s.completed > 0)
+        .map(|s| s.p99().as_micros_f64())
+        .collect();
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Average mean latency across services.
+pub fn avg_mean(report: &RunReport) -> f64 {
+    let xs: Vec<f64> = report
+        .per_service
+        .iter()
+        .filter(|s| s.completed > 0)
+        .map(|s| s.mean().as_micros_f64())
+        .collect();
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelflow_workloads::socialnetwork;
+
+    #[test]
+    fn unloaded_means_are_finite_and_ordered() {
+        let services = vec![socialnetwork::uniq_id(), socialnetwork::compose_post()];
+        let means = unloaded_means(Policy::AccelFlow, &services, 1);
+        assert_eq!(means.len(), 2);
+        assert!(means[0] > SimDuration::ZERO);
+        // CPost is a far longer service than UniqId.
+        assert!(means[1] > means[0] * 2);
+    }
+
+    #[test]
+    fn slo_check_enforces_p99() {
+        let services = vec![socialnetwork::uniq_id()];
+        let unloaded = unloaded_means(Policy::AccelFlow, &services, 1);
+        let light = run_poisson(Policy::AccelFlow, &services, 500.0, Scale::quick());
+        assert!(
+            meets_slo(&light, &unloaded, 5.0),
+            "light load must meet SLO"
+        );
+    }
+
+    #[test]
+    fn throughput_search_orders_policies() {
+        // A deliberately tiny machine (2 cores, 1 PE/accelerator) keeps
+        // the search cheap while preserving the ordering.
+        let services = vec![socialnetwork::uniq_id()];
+        let mk = |policy| {
+            let mut cfg = machine_config(policy, Scale::quick());
+            cfg.arch.cores = 2;
+            cfg.arch.pes_per_accelerator = 1;
+            cfg
+        };
+        let af = max_throughput_with(&mk(Policy::AccelFlow), &services, 5.0, 3);
+        let non = max_throughput_with(&mk(Policy::NonAcc), &services, 5.0, 3);
+        assert!(af > non * 1.5, "AccelFlow {af} must beat Non-acc {non}");
+    }
+
+    #[test]
+    fn scales_read_env() {
+        let s = Scale::quick();
+        assert!(s.duration > s.warmup);
+        let d = Scale::from_env();
+        assert!(d.rps > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod slo_tests {
+    use super::*;
+    use accelflow_core::stats::{MachineTotals, ServiceStats};
+    use accelflow_sim::time::SimTime;
+
+    fn report_with(p99s_us: &[(u64, u64)]) -> RunReport {
+        // (p99 in µs, completed count) per service.
+        let per_service = p99s_us
+            .iter()
+            .enumerate()
+            .map(|(i, &(p99, n))| {
+                let mut s = ServiceStats::new(format!("s{i}"));
+                for _ in 0..n {
+                    s.latency.record_duration(SimDuration::from_micros(p99));
+                }
+                s.completed = n;
+                s.offered = n;
+                s
+            })
+            .collect();
+        RunReport {
+            per_service,
+            totals: MachineTotals::default(),
+            measured: SimDuration::from_millis(10),
+            ended_at: SimTime::ZERO + SimDuration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn slo_passes_within_budget() {
+        let unloaded = vec![SimDuration::from_micros(100)];
+        let r = report_with(&[(400, 1000)]);
+        assert!(meets_slo(&r, &unloaded, 5.0));
+    }
+
+    #[test]
+    fn slo_fails_beyond_budget() {
+        let unloaded = vec![SimDuration::from_micros(100)];
+        let r = report_with(&[(600, 1000)]);
+        assert!(!meets_slo(&r, &unloaded, 5.0));
+    }
+
+    #[test]
+    fn slo_skips_thin_services() {
+        // Too few samples to judge: pass.
+        let unloaded = vec![SimDuration::from_micros(100)];
+        let r = report_with(&[(900, 30)]);
+        assert!(meets_slo(&r, &unloaded, 5.0));
+    }
+
+    #[test]
+    fn slo_fails_on_incompletion() {
+        let unloaded = vec![SimDuration::from_micros(100)];
+        let mut r = report_with(&[(100, 1000)]);
+        r.per_service[0].offered = 2000; // half the requests never finished
+        assert!(!meets_slo(&r, &unloaded, 5.0));
+    }
+
+    #[test]
+    fn one_bad_service_fails_the_whole_machine() {
+        let unloaded = vec![SimDuration::from_micros(100), SimDuration::from_micros(100)];
+        let r = report_with(&[(100, 1000), (5_000, 1000)]);
+        assert!(!meets_slo(&r, &unloaded, 5.0));
+    }
+
+    #[test]
+    fn averages_ignore_empty_services() {
+        let r = report_with(&[(100, 1000), (0, 0)]);
+        // avg_p99 must not divide by the empty service.
+        let avg = avg_p99(&r);
+        assert!((avg - 100.0).abs() / 100.0 < 0.05, "{avg}");
+        let empty = RunReport {
+            per_service: vec![],
+            totals: MachineTotals::default(),
+            measured: SimDuration::ZERO,
+            ended_at: SimTime::ZERO,
+        };
+        assert_eq!(avg_p99(&empty), 0.0);
+        assert_eq!(avg_mean(&empty), 0.0);
+    }
+}

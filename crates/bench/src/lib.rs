@@ -1,0 +1,16 @@
+//! The experiment harness: regenerates every table and figure of the
+//! paper's evaluation (see DESIGN.md §4 for the full index).
+//!
+//! Each `src/bin/` binary reproduces one table or figure and prints a
+//! paper-vs-measured comparison; `benches/` holds criterion benchmarks
+//! over the simulator's hot paths and scaled-down experiment runs.
+//!
+//! - [`harness`] — standard run configurations, the max-throughput
+//!   (SLO-bounded) search, and experiment plumbing.
+//! - [`table`] — plain-text table rendering for experiment output.
+//! - [`paper`] — the numbers the paper reports, as constants, so every
+//!   binary can print paper-vs-measured side by side.
+
+pub mod harness;
+pub mod paper;
+pub mod table;

@@ -1,0 +1,124 @@
+//! Plain-text tables for experiment output.
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table with a title.
+///
+/// # Example
+///
+/// ```
+/// use accelflow_bench::table::Table;
+///
+/// let mut t = Table::new("Demo", &["service", "p99 (us)"]);
+/// t.row(&["Login".to_string(), format!("{:.1}", 123.4)]);
+/// let s = t.render();
+/// assert!(s.contains("Login"));
+/// assert!(s.contains("123.4"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}", cell, w = widths[i] + 2);
+                let _ = i;
+            }
+            let _ = writeln!(out);
+        };
+        line(&mut out, &self.header);
+        let total: usize = widths.iter().map(|w| w + 2).sum::<usize>().max(cols);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders and prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a duration in microseconds.
+pub fn us(d: accelflow_sim::time::SimDuration) -> String {
+    format!("{:.1}", d.as_micros_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelflow_sim::time::SimDuration;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T", &["a", "long-header"]);
+        t.row(&["x".into(), "1".into()]);
+        t.row(&["longer-cell".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("== T =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Header, rule, two rows (after title).
+        assert_eq!(lines.len(), 5);
+        assert!(lines[2].starts_with('-'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(pct(0.707), "70.7%");
+        assert_eq!(ratio(2.2), "2.20x");
+        assert_eq!(us(SimDuration::from_micros(15)), "15.0");
+    }
+}

@@ -1,0 +1,31 @@
+//! The AccelFlow machine model and orchestration policies — the
+//! paper's contribution, executable.
+//!
+//! This crate assembles the substrates (simulation kernel, hardware
+//! models, trace library, accelerator stations) into a full server
+//! model and implements every orchestration design the paper
+//! evaluates:
+//!
+//! - [`policy`] — Non-acc, CPU-Centric, RELIEF (+ the Fig 13 ablation
+//!   rungs), Cohort, AccelFlow (+ deadline scheduling), and Ideal.
+//! - [`request`] — service specifications (Table IV paths) and the
+//!   sampled request programs the machine executes.
+//! - [`machine`] — the event-driven server: cores, the nine
+//!   accelerator stations, A-DMA engines, the centralized manager, the
+//!   ATM, overflow/fallback/timeout handling, multi-tenancy, and SLO
+//!   deadlines.
+//! - [`stats`] — run reports: latency percentiles, execution-time
+//!   breakdowns, counters, utilization, and energy.
+
+pub mod machine;
+pub mod policy;
+pub mod request;
+pub mod stats;
+
+pub use machine::{poisson_arrivals, Arrival, Machine, MachineConfig};
+pub use policy::Policy;
+pub use request::{
+    CallSpec, CyclesDist, ExternalSpec, FlagProbs, Program, Segment, SegmentEnd, ServiceId,
+    ServiceSpec, SizeDist, StageSpec, Step, TraceCall,
+};
+pub use stats::{Breakdown, MachineTotals, RunReport, ServiceStats};

@@ -1,0 +1,252 @@
+//! The orchestration policies under evaluation (paper §III, §VI).
+//!
+//! Five server designs orchestrate the same nine accelerators (plus a
+//! no-accelerator baseline and an idealized bound), and the Fig 13
+//! ablation isolates AccelFlow's techniques one at a time:
+//!
+//! | policy | orchestration |
+//! |---|---|
+//! | `NonAcc` | every tax op runs on a CPU core |
+//! | `CpuCentric` | a core invokes one accelerator at a time; completion interrupts the core |
+//! | `Relief` | centralized HW manager, one shared queue for all 72 PEs |
+//! | `ReliefPerTypeQ` | Fig 13 step 1: + a queue per accelerator type |
+//! | `Direct` | Fig 13 step 2: + traces with direct accelerator-to-accelerator transfers; branches, transforms, and large payloads still bounce to the manager |
+//! | `CntrFlow` | Fig 13 step 3: + branches resolved in output dispatchers |
+//! | `AccelFlow` | the full design: + transforms and large payloads handled by dispatchers |
+//! | `AccelFlowDeadline` | AccelFlow with the deadline-aware input-dispatcher policy (§IV-C) |
+//! | `Cohort` | statically linked accelerator pairs communicate directly; everything else is orchestrated by cores through shared-memory software queues |
+//! | `Ideal` | direct communication with zero orchestration cost (Fig 14's bound) |
+
+use accelflow_accel::dispatcher::QueuePolicy;
+use accelflow_trace::kind::AccelKind;
+
+/// An orchestration policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// No accelerators: all tax operations execute on cores.
+    NonAcc,
+    /// Cores orchestrate accelerators one invocation at a time.
+    CpuCentric,
+    /// RELIEF-style centralized hardware manager with a single shared
+    /// queue.
+    Relief,
+    /// RELIEF with per-accelerator-type queues (Fig 13 "PerAccTypeQ").
+    ReliefPerTypeQ,
+    /// Traces + direct transfers; control flow and transforms still go
+    /// through the manager (Fig 13 "Direct").
+    Direct,
+    /// Direct + branch resolution in dispatchers (Fig 13 "CntrFlow").
+    CntrFlow,
+    /// The complete AccelFlow design.
+    AccelFlow,
+    /// AccelFlow with deadline-aware input scheduling (§IV-C).
+    AccelFlowDeadline,
+    /// Cohort-style static pair chaining with software queues.
+    Cohort,
+    /// Zero-overhead direct chaining (upper bound, Fig 14).
+    Ideal,
+}
+
+impl Policy {
+    /// The five architectures of Fig 11/12/14, in the paper's order.
+    pub const HEADLINE: [Policy; 5] = [
+        Policy::NonAcc,
+        Policy::CpuCentric,
+        Policy::Relief,
+        Policy::Cohort,
+        Policy::AccelFlow,
+    ];
+
+    /// The Fig 13 ablation ladder, in order of technique addition.
+    pub const ABLATION: [Policy; 5] = [
+        Policy::Relief,
+        Policy::ReliefPerTypeQ,
+        Policy::Direct,
+        Policy::CntrFlow,
+        Policy::AccelFlow,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Policy::NonAcc => "Non-acc",
+            Policy::CpuCentric => "CPU-Centric",
+            Policy::Relief => "RELIEF",
+            Policy::ReliefPerTypeQ => "PerAccTypeQ",
+            Policy::Direct => "Direct",
+            Policy::CntrFlow => "CntrFlow",
+            Policy::AccelFlow => "AccelFlow",
+            Policy::AccelFlowDeadline => "AccelFlow+DL",
+            Policy::Cohort => "Cohort",
+            Policy::Ideal => "Ideal",
+        }
+    }
+
+    /// Whether tax ops execute on accelerators at all.
+    pub fn uses_accelerators(self) -> bool {
+        !matches!(self, Policy::NonAcc)
+    }
+
+    /// Whether a centralized hardware manager mediates transfers.
+    pub fn uses_manager(self) -> bool {
+        matches!(
+            self,
+            Policy::Relief | Policy::ReliefPerTypeQ | Policy::Direct | Policy::CntrFlow
+        )
+    }
+
+    /// Whether RELIEF's single shared queue (with its head-of-line
+    /// blocking across accelerator types) is in force.
+    pub fn single_shared_queue(self) -> bool {
+        matches!(self, Policy::Relief)
+    }
+
+    /// Whether accelerator-to-accelerator transfers bypass both cores
+    /// and the manager for plain (branch-free, transform-free) hops.
+    pub fn direct_transfers(self) -> bool {
+        matches!(
+            self,
+            Policy::Direct
+                | Policy::CntrFlow
+                | Policy::AccelFlow
+                | Policy::AccelFlowDeadline
+                | Policy::Ideal
+        )
+    }
+
+    /// Whether output dispatchers resolve branches (vs. bouncing to the
+    /// manager or core).
+    pub fn branches_in_dispatcher(self) -> bool {
+        matches!(
+            self,
+            Policy::CntrFlow | Policy::AccelFlow | Policy::AccelFlowDeadline | Policy::Ideal
+        )
+    }
+
+    /// Whether output dispatchers perform data transformations and
+    /// drive Memory-Pointer payloads themselves.
+    pub fn transforms_in_dispatcher(self) -> bool {
+        matches!(
+            self,
+            Policy::AccelFlow | Policy::AccelFlowDeadline | Policy::Ideal
+        )
+    }
+
+    /// Whether orchestration costs are suppressed entirely (the Ideal
+    /// bound of Fig 14: "communicate directly without incurring the
+    /// overheads of branch resolution or data transformations").
+    pub fn zero_orchestration(self) -> bool {
+        matches!(self, Policy::Ideal)
+    }
+
+    /// Whether cores orchestrate every hop (interrupt-driven).
+    pub fn core_orchestrated(self) -> bool {
+        matches!(self, Policy::CpuCentric | Policy::Cohort)
+    }
+
+    /// The input-dispatcher scheduling policy this design uses.
+    pub fn queue_policy(self) -> QueuePolicy {
+        match self {
+            Policy::AccelFlowDeadline => QueuePolicy::DeadlineAware,
+            _ => QueuePolicy::Fifo,
+        }
+    }
+
+    /// Cohort's statically linked ordered pairs: Cohort links "a few"
+    /// accelerators that always go together — the TCP→Decr receive edge
+    /// and the Encr→TCP send edge. Transfers matching a linked pair
+    /// bypass the cores.
+    pub fn cohort_links() -> [(AccelKind, AccelKind); 2] {
+        use AccelKind::*;
+        [(Tcp, Decr), (Encr, Tcp)]
+    }
+
+    /// Whether this ordered hop is covered by a Cohort static link.
+    pub fn cohort_linked(from: AccelKind, to: AccelKind) -> bool {
+        Self::cohort_links().contains(&(from, to))
+    }
+}
+
+impl std::fmt::Display for Policy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_ladder_is_monotone_in_capabilities() {
+        // Each Fig 13 step adds a capability and keeps the previous ones.
+        let ladder = Policy::ABLATION;
+        let caps = |p: Policy| {
+            [
+                !p.single_shared_queue(),
+                p.direct_transfers(),
+                p.branches_in_dispatcher(),
+                p.transforms_in_dispatcher(),
+            ]
+        };
+        for w in ladder.windows(2) {
+            let (a, b) = (caps(w[0]), caps(w[1]));
+            for i in 0..a.len() {
+                assert!(!a[i] || b[i], "{} → {} loses capability {i}", w[0], w[1]);
+            }
+            assert_ne!(a, b, "{} → {} adds nothing", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn headline_policies_are_distinct_designs() {
+        assert!(!Policy::NonAcc.uses_accelerators());
+        assert!(Policy::CpuCentric.core_orchestrated());
+        assert!(Policy::Relief.uses_manager());
+        assert!(Policy::Relief.single_shared_queue());
+        assert!(!Policy::ReliefPerTypeQ.single_shared_queue());
+        assert!(Policy::Cohort.core_orchestrated());
+        assert!(Policy::AccelFlow.direct_transfers());
+        assert!(!Policy::AccelFlow.uses_manager());
+        assert!(Policy::Ideal.zero_orchestration());
+        assert!(!Policy::AccelFlow.zero_orchestration());
+    }
+
+    #[test]
+    fn deadline_variant_changes_only_scheduling() {
+        let a = Policy::AccelFlow;
+        let b = Policy::AccelFlowDeadline;
+        assert_eq!(a.direct_transfers(), b.direct_transfers());
+        assert_eq!(a.branches_in_dispatcher(), b.branches_in_dispatcher());
+        assert_ne!(a.queue_policy(), b.queue_policy());
+    }
+
+    #[test]
+    fn cohort_links_cover_the_universal_adjacencies() {
+        use AccelKind::*;
+        assert!(Policy::cohort_linked(Tcp, Decr));
+        assert!(Policy::cohort_linked(Encr, Tcp));
+        assert!(!Policy::cohort_linked(Decr, Tcp), "links are ordered");
+        assert!(!Policy::cohort_linked(Dser, Ldb));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let all = [
+            Policy::NonAcc,
+            Policy::CpuCentric,
+            Policy::Relief,
+            Policy::ReliefPerTypeQ,
+            Policy::Direct,
+            Policy::CntrFlow,
+            Policy::AccelFlow,
+            Policy::AccelFlowDeadline,
+            Policy::Cohort,
+            Policy::Ideal,
+        ];
+        let mut names: Vec<&str> = all.iter().map(|p| p.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), all.len());
+    }
+}

@@ -1,0 +1,807 @@
+//! Service models and request programs.
+//!
+//! A **service** is specified the way the paper characterizes one
+//! (Table IV): a path of application-logic stages and trace calls,
+//! e.g. `Login = T1-CPU-T4-T5-T6-T7-CPU-T2`. A [`ServiceSpec`] carries
+//! the distributions — payload sizes (Fig 5), branch-outcome
+//! probabilities (§III Q2), app-logic cycles, and external (remote
+//! DB/RPC) delays. Sampling a spec yields a concrete [`Program`]: the
+//! fully-resolved execution the machine simulates under any policy.
+//!
+//! Note on chains: a trace call like `T4` resolves into *segments*
+//! joined by chain points (T4 sends the read; T5 runs when the response
+//! arrives). A chain whose follow-on trace begins with TCP waits for an
+//! external response (the sampled remote delay); a chain to a split-out
+//! subtrace (the §IV-B error trace starts with Ser) continues
+//! immediately.
+
+use std::sync::Arc;
+
+use accelflow_accel::dispatcher::output_dispatch_instructions;
+use accelflow_accel::queue::TenantId;
+use accelflow_accel::timing::ServiceTimeModel;
+use accelflow_sim::rng::SimRng;
+use accelflow_sim::time::SimDuration;
+use accelflow_trace::cond::PayloadFlags;
+use accelflow_trace::ir::{GlueAction, Next, PositionMark, Trace};
+use accelflow_trace::kind::AccelKind;
+use accelflow_trace::templates::{TemplateId, TraceLibrary};
+
+/// Index of a service within a workload mix.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ServiceId(pub usize);
+
+/// A log-normal payload-size distribution (median + shape), clamped to
+/// `[64, max]` bytes — Fig 5's "median of a few KB with a long tail".
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SizeDist {
+    /// Median size in bytes.
+    pub median: f64,
+    /// Log-normal shape (σ of the underlying normal).
+    pub sigma: f64,
+    /// Hard cap in bytes (tails reach tens of KB, Fig 5).
+    pub max: u64,
+}
+
+impl SizeDist {
+    /// A distribution with a few-KB median and a tail to `max`.
+    pub fn new(median: f64, sigma: f64, max: u64) -> Self {
+        SizeDist { median, sigma, max }
+    }
+
+    /// Draws a size.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        (rng.log_normal(self.median, self.sigma).round() as u64).clamp(64, self.max)
+    }
+}
+
+impl Default for SizeDist {
+    /// The common case: 2 KB median, tail to 32 KB.
+    fn default() -> Self {
+        SizeDist::new(2048.0, 0.7, 32 * 1024)
+    }
+}
+
+/// A log-normal distribution over CPU cycles for app-logic stages.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CyclesDist {
+    /// Median cycles.
+    pub median: f64,
+    /// Log-normal shape.
+    pub sigma: f64,
+}
+
+impl CyclesDist {
+    /// Creates the distribution.
+    pub fn new(median: f64, sigma: f64) -> Self {
+        CyclesDist { median, sigma }
+    }
+
+    /// Draws a cycle count.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.log_normal(self.median, self.sigma)
+    }
+}
+
+/// Probabilities of the payload facts that branch conditions test.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FlagProbs {
+    /// P(payload compressed).
+    pub compressed: f64,
+    /// P(DB-cache hit).
+    pub hit: f64,
+    /// P(record found in DB).
+    pub found: f64,
+    /// P(response carries an exception).
+    pub exception: f64,
+    /// P(DB cache stores compressed entries).
+    pub cache_compressed: f64,
+}
+
+impl FlagProbs {
+    /// Draws one flag assignment.
+    pub fn sample(&self, rng: &mut SimRng) -> PayloadFlags {
+        PayloadFlags {
+            compressed: rng.chance(self.compressed),
+            hit: rng.chance(self.hit),
+            found: rng.chance(self.found),
+            exception: rng.chance(self.exception),
+            cache_compressed: rng.chance(self.cache_compressed),
+            custom_field: 0,
+        }
+    }
+}
+
+impl Default for FlagProbs {
+    /// Typical service behavior: some compressed payloads, warm cache,
+    /// records usually found, exceptions rare.
+    fn default() -> Self {
+        FlagProbs {
+            compressed: 0.3,
+            hit: 0.8,
+            found: 0.97,
+            exception: 0.01,
+            cache_compressed: 0.25,
+        }
+    }
+}
+
+/// Remote-side delay for a chain point (DB cache, DB, callee service),
+/// with a small bursty tail.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExternalSpec {
+    /// Median delay.
+    pub median: SimDuration,
+    /// Log-normal shape.
+    pub sigma: f64,
+    /// Probability of a straggler.
+    pub tail_p: f64,
+    /// Straggler multiplier.
+    pub tail_mult: f64,
+    /// Probability the response is effectively lost (fires the TCP
+    /// input-queue timeout of §IV-B).
+    pub loss_p: f64,
+}
+
+impl ExternalSpec {
+    /// Creates the spec.
+    pub fn new(median: SimDuration, sigma: f64) -> Self {
+        ExternalSpec {
+            median,
+            sigma,
+            tail_p: 0.0035,
+            tail_mult: 25.0,
+            loss_p: 4e-6,
+        }
+    }
+
+    /// Draws a delay.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        if rng.chance(self.loss_p) {
+            // The response never arrives in time (dropped packet,
+            // remote failure): the TCP timeout will fire.
+            return SimDuration::from_secs(3600);
+        }
+        let base = rng.log_normal(self.median.as_micros_f64().max(0.01), self.sigma);
+        let mult = if rng.chance(self.tail_p) {
+            self.tail_mult
+        } else {
+            1.0
+        };
+        SimDuration::from_micros_f64(base * mult)
+    }
+
+    /// A fast same-rack DB-cache access (~20 µs median).
+    pub fn db_cache() -> Self {
+        ExternalSpec::new(SimDuration::from_micros(20), 0.3)
+    }
+
+    /// A slower database access (~90 µs median).
+    pub fn db() -> Self {
+        ExternalSpec::new(SimDuration::from_micros(90), 0.4)
+    }
+
+    /// A nested RPC to another service (~60 µs median).
+    pub fn rpc() -> Self {
+        ExternalSpec::new(SimDuration::from_micros(60), 0.5)
+    }
+
+    /// An HTTP call to an external endpoint (~200 µs median).
+    pub fn http() -> Self {
+        ExternalSpec::new(SimDuration::from_micros(200), 0.5)
+    }
+}
+
+/// One trace call in a service path.
+#[derive(Clone, Debug)]
+pub struct CallSpec {
+    /// The trace template to invoke.
+    pub template: TemplateId,
+    /// A custom trace overriding the template (for non-microservice
+    /// workloads, e.g. the RELIEF coarse-grain suite). Custom traces
+    /// are single-segment and core-initiated.
+    pub custom: Option<Arc<Trace>>,
+    /// Probability the core picks the with-Cmp variant (T8/T9/T11; for
+    /// T2 vs T3 the path simply names the right template).
+    pub cmp_variant_prob: f64,
+    /// Payload size distribution.
+    pub payload: SizeDist,
+    /// Branch-outcome probabilities.
+    pub flags: FlagProbs,
+    /// Remote delay at response chain points.
+    pub external: ExternalSpec,
+}
+
+impl CallSpec {
+    /// A call with default payload/flag/external models.
+    pub fn new(template: TemplateId) -> Self {
+        let external = match template {
+            TemplateId::T4 | TemplateId::T5 => ExternalSpec::db_cache(),
+            TemplateId::T6 => ExternalSpec::db(),
+            TemplateId::T8 | TemplateId::T7 => ExternalSpec::db_cache(),
+            TemplateId::T9 | TemplateId::T10 => ExternalSpec::rpc(),
+            TemplateId::T11 | TemplateId::T12 => ExternalSpec::http(),
+            _ => ExternalSpec::db_cache(),
+        };
+        CallSpec {
+            template,
+            custom: None,
+            cmp_variant_prob: 0.0,
+            payload: SizeDist::default(),
+            flags: FlagProbs::default(),
+            external,
+        }
+    }
+
+    /// Uses a custom, single-segment, core-initiated trace instead of
+    /// a library template.
+    pub fn custom(trace: Trace) -> Self {
+        let mut spec = CallSpec::new(TemplateId::T1);
+        spec.custom = Some(Arc::new(trace));
+        spec
+    }
+
+    /// Sets the with-Cmp variant probability.
+    pub fn with_cmp_prob(mut self, p: f64) -> Self {
+        self.cmp_variant_prob = p;
+        self
+    }
+
+    /// Sets the payload distribution.
+    pub fn with_payload(mut self, payload: SizeDist) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Sets branch probabilities.
+    pub fn with_flags(mut self, flags: FlagProbs) -> Self {
+        self.flags = flags;
+        self
+    }
+}
+
+/// One stage of a service path.
+#[derive(Clone, Debug)]
+pub enum StageSpec {
+    /// Application logic on a core.
+    Cpu(CyclesDist),
+    /// One trace call.
+    Call(CallSpec),
+    /// Parallel trace calls (e.g. CPost's `4x(T9-T10)`); the path joins
+    /// before the next stage.
+    Parallel(Vec<CallSpec>),
+}
+
+/// A service: its Table IV path plus all sampling distributions.
+#[derive(Clone, Debug)]
+pub struct ServiceSpec {
+    /// Service name (e.g. "Login").
+    pub name: String,
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// The execution path.
+    pub stages: Vec<StageSpec>,
+    /// Soft-SLO slack factor: per-call deadlines are set to
+    /// `slack × Σ accel_time` of the call when present (§IV-C).
+    pub slo_slack: Option<f64>,
+    /// Priority tag carried by this service's queue entries (higher
+    /// runs first under the priority input-dispatcher policy, §V-1).
+    pub priority: u8,
+}
+
+impl ServiceSpec {
+    /// Creates a service from its path.
+    pub fn new(name: impl Into<String>, stages: Vec<StageSpec>) -> Self {
+        ServiceSpec {
+            name: name.into(),
+            tenant: TenantId(0),
+            stages,
+            slo_slack: None,
+            priority: 0,
+        }
+    }
+
+    /// The Table IV path string (e.g. `T1-CPU-T4-T5-CPU-T2`), derived
+    /// from the stages with chains expanded on their common path.
+    pub fn path_string(&self, lib: &TraceLibrary) -> String {
+        let mut parts = Vec::new();
+        for stage in &self.stages {
+            match stage {
+                StageSpec::Cpu(_) => parts.push("CPU".to_string()),
+                StageSpec::Call(c) => parts.push(chain_names(lib, c)),
+                StageSpec::Parallel(calls) => {
+                    let inner = chain_names(lib, &calls[0]);
+                    parts.push(format!("{}x({})", calls.len(), inner));
+                }
+            }
+        }
+        parts.join("-")
+    }
+
+    /// Samples a concrete program. `vaddr_base` gives the request its
+    /// own buffer addresses (drives the TLBs).
+    pub fn sample(
+        &self,
+        lib: &TraceLibrary,
+        timing: &ServiceTimeModel,
+        rng: &mut SimRng,
+        vaddr_base: u64,
+    ) -> Program {
+        let mut steps = Vec::with_capacity(self.stages.len());
+        for (i, stage) in self.stages.iter().enumerate() {
+            let step = match stage {
+                StageSpec::Cpu(d) => Step::Cpu {
+                    cycles: d.sample(rng),
+                },
+                StageSpec::Call(c) => Step::Call(sample_call(
+                    lib,
+                    timing,
+                    rng,
+                    c,
+                    vaddr_base + ((i as u64) << 20),
+                )),
+                StageSpec::Parallel(calls) => Step::Parallel(
+                    calls
+                        .iter()
+                        .enumerate()
+                        .map(|(j, c)| {
+                            sample_call(
+                                lib,
+                                timing,
+                                rng,
+                                c,
+                                vaddr_base + ((i as u64) << 20) + ((j as u64) << 16),
+                            )
+                        })
+                        .collect(),
+                ),
+            };
+            steps.push(step);
+        }
+        Program {
+            steps,
+            slo_slack: self.slo_slack,
+            priority: self.priority,
+        }
+    }
+}
+
+fn chain_names(lib: &TraceLibrary, call: &CallSpec) -> String {
+    // Follow the *most likely* chain for this call's flag
+    // probabilities (e.g. a cache-cold T4 commonly runs T4-T5-T6-T7).
+    let mut names = vec![call.template.name().to_string()];
+    let mut current = call.template;
+    loop {
+        let next = match current {
+            TemplateId::T4 => Some(TemplateId::T5),
+            TemplateId::T5 if call.flags.hit < 0.5 => Some(TemplateId::T6),
+            TemplateId::T6 if call.flags.found >= 0.5 => Some(TemplateId::T7),
+            TemplateId::T8 => Some(TemplateId::T7),
+            TemplateId::T9 => Some(TemplateId::T10),
+            TemplateId::T11 => Some(TemplateId::T12),
+            _ => None,
+        };
+        match next {
+            Some(n) if lib.addr(n).is_some() => {
+                names.push(n.name().to_string());
+                current = n;
+            }
+            _ => break,
+        }
+    }
+    names.join("-")
+}
+
+/// A fully-sampled request: the concrete execution the machine runs.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// The stages, in order.
+    pub steps: Vec<Step>,
+    /// Soft-SLO slack factor carried from the spec.
+    pub slo_slack: Option<f64>,
+    /// Priority tag carried from the spec.
+    pub priority: u8,
+}
+
+impl Program {
+    /// Total accelerator invocations on this request's resolved path
+    /// (the `#` column of Table IV).
+    pub fn accelerator_invocations(&self) -> usize {
+        self.calls().map(|c| c.hop_count()).sum()
+    }
+
+    /// All trace calls, in path order.
+    pub fn calls(&self) -> impl Iterator<Item = &TraceCall> {
+        self.steps.iter().flat_map(|s| match s {
+            Step::Cpu { .. } => Vec::new(),
+            Step::Call(c) => vec![c],
+            Step::Parallel(cs) => cs.iter().collect(),
+        })
+    }
+
+    /// Total app-logic cycles.
+    pub fn app_cycles(&self) -> f64 {
+        self.steps
+            .iter()
+            .map(|s| match s {
+                Step::Cpu { cycles } => *cycles,
+                _ => 0.0,
+            })
+            .sum()
+    }
+}
+
+/// One stage of a sampled program.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// Application logic.
+    Cpu {
+        /// CPU cycles (before generation scaling).
+        cycles: f64,
+    },
+    /// One trace call.
+    Call(TraceCall),
+    /// Parallel trace calls; the program joins before the next step.
+    Parallel(Vec<TraceCall>),
+}
+
+/// A sampled trace call: the resolved chain of segments.
+#[derive(Clone, Debug)]
+pub struct TraceCall {
+    /// The segments, chained in order.
+    pub segments: Vec<Segment>,
+    /// Base virtual address of this call's payload buffers.
+    pub vaddr: u64,
+}
+
+impl TraceCall {
+    /// Total accelerator hops across segments.
+    pub fn hop_count(&self) -> usize {
+        self.segments.iter().map(|s| s.hops.len()).sum()
+    }
+}
+
+/// A chain-free run of accelerator hops.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// The trace this segment executes (for queue entries).
+    pub trace: Arc<Trace>,
+    /// Resolved payload flags for this segment.
+    pub flags: PayloadFlags,
+    /// Whether the segment is triggered by a network message arriving
+    /// at TCP (vs. initiated by a core's `Enqueue`).
+    pub entry_is_network: bool,
+    /// The accelerator visits, in order.
+    pub hops: Vec<HopExec>,
+    /// What happens after the last hop.
+    pub end: SegmentEnd,
+}
+
+/// One accelerator visit.
+#[derive(Clone, Copy, Debug)]
+pub struct HopExec {
+    /// The accelerator.
+    pub kind: AccelKind,
+    /// The `Accel` slot in the trace (the Position Mark).
+    pub pm: PositionMark,
+    /// Payload size entering the hop.
+    pub in_bytes: u64,
+    /// Payload size leaving the hop (after any transform).
+    pub out_bytes: u64,
+    /// Output-dispatcher glue instructions after this hop.
+    pub glue_instrs: u32,
+    /// Branches the dispatcher resolves after this hop.
+    pub branches_after: u8,
+    /// Whether a data transformation follows this hop.
+    pub transform_after: bool,
+    /// Whether a copy is forked to the CPU after this hop.
+    pub fork_after: bool,
+}
+
+/// How a segment ends.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentEnd {
+    /// Deliver the result to the originating core.
+    ToCpu,
+    /// Chain to the next segment immediately (split subtrace, e.g. the
+    /// error trace).
+    Continue,
+    /// Chain to the next segment after a remote response arrives.
+    AwaitResponse {
+        /// Sampled remote delay.
+        external: SimDuration,
+    },
+}
+
+/// Samples one trace call: resolves flags, walks the template chain,
+/// and precomputes every hop's sizes and glue costs.
+pub fn sample_call(
+    lib: &TraceLibrary,
+    timing: &ServiceTimeModel,
+    rng: &mut SimRng,
+    spec: &CallSpec,
+    vaddr: u64,
+) -> TraceCall {
+    let flags = spec.flags.sample(rng);
+    let (mut trace, mut entry_is_network) = match &spec.custom {
+        Some(custom) => (Arc::clone(custom), false),
+        None => {
+            let entry = if spec.cmp_variant_prob > 0.0 && rng.chance(spec.cmp_variant_prob) {
+                lib.entry_with_cmp(spec.template)
+            } else {
+                lib.entry(spec.template)
+            };
+            (Arc::new(entry.clone()), spec.template.message_triggered())
+        }
+    };
+
+    let mut segments = Vec::new();
+    let mut bytes = spec.payload.sample(rng);
+    // Bound chains defensively (T4→T5→T6→T7→... is the longest: 4).
+    for _ in 0..8 {
+        let (segment, chained) = sample_segment(timing, &trace, flags, entry_is_network, bytes);
+        let end = segment.end;
+        segments.push(segment);
+        match chained {
+            None => break,
+            Some(addr) => {
+                let next = lib
+                    .atm()
+                    .peek(addr)
+                    .expect("chain target must be ATM-resident")
+                    .clone();
+                // A response segment starts from a fresh network payload.
+                if matches!(end, SegmentEnd::AwaitResponse { .. }) {
+                    bytes = spec.payload.sample(rng);
+                }
+                trace = Arc::new(next);
+                entry_is_network = matches!(end, SegmentEnd::AwaitResponse { .. });
+            }
+        }
+    }
+    // Attach sampled external delays now that ends are known.
+    for segment in &mut segments {
+        if let SegmentEnd::AwaitResponse { external } = &mut segment.end {
+            *external = spec.external.sample(rng);
+        }
+    }
+    TraceCall { segments, vaddr }
+}
+
+fn sample_segment(
+    timing: &ServiceTimeModel,
+    trace: &Arc<Trace>,
+    flags: PayloadFlags,
+    entry_is_network: bool,
+    entry_bytes: u64,
+) -> (Segment, Option<accelflow_trace::atm::AtmAddr>) {
+    let mut hops: Vec<HopExec> = Vec::new();
+    let mut bytes = entry_bytes;
+    let mut adv = trace.first(&flags);
+    let mut chained = None;
+    let end = loop {
+        match adv.next {
+            Next::Invoke { kind, pm } => {
+                let in_bytes = bytes;
+                let mut out_bytes = timing.output_bytes(kind, in_bytes);
+                let after = trace.advance(pm, &flags);
+                let mut branches = 0u8;
+                let mut transform = false;
+                let mut fork = false;
+                for action in &after.actions {
+                    match action {
+                        GlueAction::Branch { .. } => branches += 1,
+                        GlueAction::Transform(t) => {
+                            transform = true;
+                            out_bytes =
+                                ((out_bytes as f64) * t.size_ratio()).round().max(1.0) as u64;
+                        }
+                        GlueAction::ForkToCpu => fork = true,
+                    }
+                }
+                let glue_instrs = output_dispatch_instructions(&after, out_bytes);
+                hops.push(HopExec {
+                    kind,
+                    pm,
+                    in_bytes,
+                    out_bytes,
+                    glue_instrs,
+                    branches_after: branches,
+                    transform_after: transform,
+                    fork_after: fork,
+                });
+                bytes = out_bytes;
+                adv = after;
+            }
+            Next::ToCpu => break SegmentEnd::ToCpu,
+            Next::Chain(addr) => {
+                chained = Some(addr);
+                // Chains whose last hop sent a network message wait for
+                // the response; split-subtrace chains continue at once.
+                let waits = hops
+                    .last()
+                    .map(|h| h.kind == AccelKind::Tcp)
+                    .unwrap_or(false);
+                break if waits {
+                    SegmentEnd::AwaitResponse {
+                        external: SimDuration::ZERO,
+                    }
+                } else {
+                    SegmentEnd::Continue
+                };
+            }
+        }
+    };
+    (
+        Segment {
+            trace: Arc::clone(trace),
+            flags,
+            entry_is_network,
+            hops,
+            end,
+        },
+        chained,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use accelflow_sim::time::Frequency;
+
+    fn fixtures() -> (TraceLibrary, ServiceTimeModel, SimRng) {
+        (
+            TraceLibrary::standard(),
+            ServiceTimeModel::calibrated(Frequency::from_ghz(2.4)),
+            SimRng::seed(42),
+        )
+    }
+
+    #[test]
+    fn t1_call_has_single_segment() {
+        let (lib, timing, mut rng) = fixtures();
+        let spec = CallSpec::new(TemplateId::T1);
+        let call = sample_call(&lib, &timing, &mut rng, &spec, 0x10000);
+        assert_eq!(call.segments.len(), 1);
+        let seg = &call.segments[0];
+        assert!(seg.entry_is_network);
+        assert_eq!(seg.end, SegmentEnd::ToCpu);
+        // Tcp, Decr, Rpc, Dser, [Dcmp], Ldb.
+        assert!(seg.hops.len() == 5 || seg.hops.len() == 6);
+        assert_eq!(seg.hops[0].kind, AccelKind::Tcp);
+        assert_eq!(seg.hops.last().unwrap().kind, AccelKind::Ldb);
+    }
+
+    #[test]
+    fn t4_call_chains_through_responses() {
+        let (lib, timing, mut rng) = fixtures();
+        let spec = CallSpec::new(TemplateId::T4).with_flags(FlagProbs {
+            hit: 1.0, // always hits the DB cache
+            ..FlagProbs::default()
+        });
+        let call = sample_call(&lib, &timing, &mut rng, &spec, 0x10000);
+        // T4 (send) + T5 (response): two segments.
+        assert_eq!(call.segments.len(), 2);
+        assert!(
+            matches!(call.segments[0].end, SegmentEnd::AwaitResponse { external } if external > SimDuration::ZERO)
+        );
+        assert!(!call.segments[0].entry_is_network);
+        assert!(call.segments[1].entry_is_network);
+        assert_eq!(call.segments[1].end, SegmentEnd::ToCpu);
+    }
+
+    #[test]
+    fn t4_miss_path_reaches_t6_and_t7() {
+        let (lib, timing, mut rng) = fixtures();
+        let spec = CallSpec::new(TemplateId::T4).with_flags(FlagProbs {
+            hit: 0.0,
+            found: 1.0,
+            exception: 0.0,
+            ..FlagProbs::default()
+        });
+        let call = sample_call(&lib, &timing, &mut rng, &spec, 0x10000);
+        // T4 → T5(miss→send to DB) → T6(found→write cache) → T7.
+        assert_eq!(call.segments.len(), 4);
+        let waits: Vec<bool> = call
+            .segments
+            .iter()
+            .map(|s| matches!(s.end, SegmentEnd::AwaitResponse { .. }))
+            .collect();
+        assert_eq!(waits, vec![true, true, true, false]);
+        // T6's fork hands the data to the CPU mid-trace.
+        assert!(call.segments[2].hops.iter().any(|h| h.fork_after));
+    }
+
+    #[test]
+    fn error_chain_continues_immediately() {
+        let (lib, timing, mut rng) = fixtures();
+        let spec = CallSpec::new(TemplateId::T8).with_flags(FlagProbs {
+            exception: 1.0,
+            ..FlagProbs::default()
+        });
+        let call = sample_call(&lib, &timing, &mut rng, &spec, 0);
+        // T8 (send) → T7 (response, exception) → error trace (immediate).
+        assert_eq!(call.segments.len(), 3);
+        assert_eq!(call.segments[1].end, SegmentEnd::Continue);
+        assert_eq!(call.segments[2].end, SegmentEnd::ToCpu);
+        assert_eq!(call.segments[2].hops.len(), 4);
+    }
+
+    #[test]
+    fn payload_sizes_flow_through_hops() {
+        let (lib, timing, mut rng) = fixtures();
+        let spec = CallSpec::new(TemplateId::T9).with_cmp_prob(1.0);
+        let call = sample_call(&lib, &timing, &mut rng, &spec, 0);
+        let seg = &call.segments[0];
+        assert_eq!(seg.hops[0].kind, AccelKind::Cmp);
+        // Compression shrinks the payload ~3x before Ser.
+        assert!(seg.hops[1].in_bytes < seg.hops[0].in_bytes / 2);
+        for w in seg.hops.windows(2) {
+            assert_eq!(w[0].out_bytes, w[1].in_bytes, "sizes must chain");
+        }
+    }
+
+    #[test]
+    fn glue_instructions_are_positive_and_bounded() {
+        let (lib, timing, mut rng) = fixtures();
+        for template in TemplateId::ALL {
+            let spec = CallSpec::new(template);
+            let call = sample_call(&lib, &timing, &mut rng, &spec, 0);
+            for seg in &call.segments {
+                for hop in &seg.hops {
+                    assert!(hop.glue_instrs >= 15, "{template}: {}", hop.glue_instrs);
+                    assert!(hop.glue_instrs <= 15 + 9 * 2 + 12 * 64 + 20, "{template}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn program_counts_parallel_calls() {
+        let (lib, timing, mut rng) = fixtures();
+        let svc = ServiceSpec::new(
+            "toy",
+            vec![
+                StageSpec::Call(CallSpec::new(TemplateId::T1)),
+                StageSpec::Cpu(CyclesDist::new(50_000.0, 0.2)),
+                StageSpec::Parallel(vec![CallSpec::new(TemplateId::T9); 4]),
+                StageSpec::Call(CallSpec::new(TemplateId::T2)),
+            ],
+        );
+        let program = svc.sample(&lib, &timing, &mut rng, 0);
+        assert_eq!(program.steps.len(), 4);
+        // T1 (≥5) + 4×(T9+T10: ≥9 each) + T2 (4) ≥ 45.
+        assert!(program.accelerator_invocations() >= 40);
+        assert!(program.app_cycles() > 0.0);
+    }
+
+    #[test]
+    fn path_string_names_chains() {
+        let (lib, _, _) = fixtures();
+        let svc = ServiceSpec::new(
+            "ReadH",
+            vec![
+                StageSpec::Call(CallSpec::new(TemplateId::T1)),
+                StageSpec::Cpu(CyclesDist::new(10_000.0, 0.1)),
+                StageSpec::Call(CallSpec::new(TemplateId::T4)),
+                StageSpec::Call(CallSpec::new(TemplateId::T3)),
+            ],
+        );
+        assert_eq!(svc.path_string(&lib), "T1-CPU-T4-T5-T3");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let (lib, timing, _) = fixtures();
+        let spec = CallSpec::new(TemplateId::T4);
+        let a = sample_call(&lib, &timing, &mut SimRng::seed(9), &spec, 0);
+        let b = sample_call(&lib, &timing, &mut SimRng::seed(9), &spec, 0);
+        assert_eq!(a.segments.len(), b.segments.len());
+        for (sa, sb) in a.segments.iter().zip(&b.segments) {
+            assert_eq!(sa.hops.len(), sb.hops.len());
+            for (ha, hb) in sa.hops.iter().zip(&sb.hops) {
+                assert_eq!(ha.in_bytes, hb.in_bytes);
+            }
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Run reports: everything the evaluation section measures.
+//!
+//! Per service: latency histogram (P99/average, Figs 11/12/13/16/18–20),
+//! execution-time breakdown by component (Fig 17) and by tax category
+//! (Fig 1), deadline misses (Fig 19). Machine-wide: fallback/overflow/
+//! timeout/page-fault counters (§VII-B6), glue-instruction accounting
+//! (§VII-B2), accelerator utilization (§VII-B4), and the energy report
+//! (§VII-B5).
+
+use accelflow_arch::energy::EnergyReport;
+use accelflow_sim::stats::Histogram;
+use accelflow_sim::time::{SimDuration, SimTime};
+use accelflow_trace::kind::AccelKind;
+
+/// Where a request's wall-clock went (Fig 17's four components, plus
+/// time waiting on remote responses).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Breakdown {
+    /// Running on CPU cores (app logic + software tax + fallbacks).
+    pub cpu: SimDuration,
+    /// Running on accelerator PEs.
+    pub accel: SimDuration,
+    /// Orchestration logic: dispatchers, manager occupancy, interrupt
+    /// handling, submissions.
+    pub orchestration: SimDuration,
+    /// Moving data and signals: DMA, network, queue↔scratchpad,
+    /// notifications.
+    pub communication: SimDuration,
+    /// Waiting on remote DB/RPC/HTTP responses.
+    pub external: SimDuration,
+}
+
+impl Breakdown {
+    /// Sum of the on-server components (excludes external waits).
+    pub fn on_server(&self) -> SimDuration {
+        self.cpu + self.accel + self.orchestration + self.communication
+    }
+
+    /// Orchestration share of on-server time (Fig 3 / Fig 17).
+    pub fn orchestration_fraction(&self) -> f64 {
+        let total = self.on_server().as_picos();
+        if total == 0 {
+            0.0
+        } else {
+            self.orchestration.as_picos() as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another breakdown.
+    pub fn merge(&mut self, other: &Breakdown) {
+        self.cpu += other.cpu;
+        self.accel += other.accel;
+        self.orchestration += other.orchestration;
+        self.communication += other.communication;
+        self.external += other.external;
+    }
+}
+
+/// Per-service results.
+#[derive(Clone, Debug)]
+pub struct ServiceStats {
+    /// Service name.
+    pub name: String,
+    /// End-to-end latency of completed requests.
+    pub latency: Histogram,
+    /// Requests offered (arrived after warmup).
+    pub offered: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Requests that ended in an error path (exceptions, not-found).
+    pub errors: u64,
+    /// Requests finishing after their SLO deadline.
+    pub deadline_misses: u64,
+    /// Wall-clock attribution across completed requests.
+    pub breakdown: Breakdown,
+    /// CPU-equivalent tax time per accelerator kind (Fig 1's
+    /// categories; measured on the resolved path regardless of where
+    /// the op ran).
+    pub tax_by_kind: [SimDuration; AccelKind::COUNT],
+    /// App-logic CPU time (Fig 1's AppLogic).
+    pub app_logic: SimDuration,
+    /// Raw `(completion time, latency)` samples, recorded only when
+    /// [`sample latencies`](crate::machine::MachineConfig) is enabled
+    /// (for time-series diagnostics).
+    pub samples: Vec<(SimTime, SimDuration)>,
+}
+
+impl ServiceStats {
+    /// Creates empty stats for a service.
+    pub fn new(name: impl Into<String>) -> Self {
+        ServiceStats {
+            name: name.into(),
+            latency: Histogram::new(),
+            offered: 0,
+            completed: 0,
+            errors: 0,
+            deadline_misses: 0,
+            breakdown: Breakdown::default(),
+            tax_by_kind: [SimDuration::ZERO; AccelKind::COUNT],
+            app_logic: SimDuration::ZERO,
+            samples: Vec::new(),
+        }
+    }
+
+    /// P99 latency.
+    pub fn p99(&self) -> SimDuration {
+        self.latency.percentile_duration(99.0)
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> SimDuration {
+        self.latency.mean_duration()
+    }
+
+    /// Fig 1's normalized breakdown: `(tax share per kind, app share)`,
+    /// as fractions of total attributed time.
+    pub fn fig1_shares(&self) -> ([f64; AccelKind::COUNT], f64) {
+        let tax_total: u64 = self.tax_by_kind.iter().map(|d| d.as_picos()).sum();
+        let total = tax_total + self.app_logic.as_picos();
+        if total == 0 {
+            return ([0.0; AccelKind::COUNT], 0.0);
+        }
+        let mut shares = [0.0; AccelKind::COUNT];
+        for (i, d) in self.tax_by_kind.iter().enumerate() {
+            shares[i] = d.as_picos() as f64 / total as f64;
+        }
+        (shares, self.app_logic.as_picos() as f64 / total as f64)
+    }
+}
+
+/// Machine-wide counters and meters.
+#[derive(Clone, Debug, Default)]
+pub struct MachineTotals {
+    /// Accelerator invocations that fell back to CPU execution.
+    pub fallbacks: u64,
+    /// Entries that landed in an overflow area.
+    pub overflows: u64,
+    /// Core-path `Enqueue` rejections (before retry/fallback).
+    pub enqueue_rejections: u64,
+    /// TCP input-queue timeouts (§IV-B).
+    pub tcp_timeouts: u64,
+    /// Accelerator page faults / exceptions handled by the OS.
+    pub page_faults: u64,
+    /// ATM reads by output dispatchers.
+    pub atm_reads: u64,
+    /// Total output-dispatcher glue instructions.
+    pub dispatcher_instrs: u64,
+    /// Output-dispatcher walks (for the §VII-B2 average).
+    pub dispatches: u64,
+    /// Jobs the centralized manager processed (RELIEF family).
+    pub manager_jobs: u64,
+    /// Manager busy time.
+    pub manager_busy: SimDuration,
+    /// Per-kind accelerator utilization at end of run.
+    pub accel_utilization: [f64; AccelKind::COUNT],
+    /// Per-kind jobs processed on accelerators.
+    pub accel_jobs: [u64; AccelKind::COUNT],
+    /// Per-kind TLB (hits, misses).
+    pub tlb: [(u64, u64); AccelKind::COUNT],
+    /// Scratchpad wipes due to tenant switches (§IV-D).
+    pub tenant_wipes: u64,
+    /// Trace initiations delayed by the per-tenant cap (§IV-D).
+    pub tenant_throttled: u64,
+    /// DMA bytes moved.
+    pub dma_bytes: u64,
+    /// Energy breakdown over the run.
+    pub energy: EnergyReport,
+}
+
+impl MachineTotals {
+    /// Mean glue instructions per output-dispatcher walk (§VII-B2
+    /// reports 18 on average).
+    pub fn mean_glue_instructions(&self) -> f64 {
+        if self.dispatches == 0 {
+            0.0
+        } else {
+            self.dispatcher_instrs as f64 / self.dispatches as f64
+        }
+    }
+}
+
+/// The result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Per-service results, in workload order.
+    pub per_service: Vec<ServiceStats>,
+    /// Machine-wide counters.
+    pub totals: MachineTotals,
+    /// Simulated time covered by measurement (post-warmup).
+    pub measured: SimDuration,
+    /// The instant the run ended.
+    pub ended_at: SimTime,
+}
+
+impl RunReport {
+    /// All services' latencies merged.
+    pub fn aggregate_latency(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for s in &self.per_service {
+            h.merge(&s.latency);
+        }
+        h
+    }
+
+    /// Total completed requests.
+    pub fn completed(&self) -> u64 {
+        self.per_service.iter().map(|s| s.completed).sum()
+    }
+
+    /// Total offered requests.
+    pub fn offered(&self) -> u64 {
+        self.per_service.iter().map(|s| s.offered).sum()
+    }
+
+    /// Achieved throughput in requests/second over the measured window.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.measured.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed() as f64 / secs
+        }
+    }
+
+    /// Completion ratio — drops below ~1.0 when the machine saturates.
+    pub fn completion_ratio(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            1.0
+        } else {
+            self.completed() as f64 / offered as f64
+        }
+    }
+
+    /// Machine-wide breakdown (sum over services).
+    pub fn total_breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::default();
+        for s in &self.per_service {
+            b.merge(&s.breakdown);
+        }
+        b
+    }
+
+    /// Machine-wide average invocation rate of accelerators that fell
+    /// back to the CPU, as a fraction of all accelerator invocations.
+    pub fn fallback_fraction(&self) -> f64 {
+        let jobs: u64 = self.totals.accel_jobs.iter().sum::<u64>() + self.totals.fallbacks;
+        if jobs == 0 {
+            0.0
+        } else {
+            self.totals.fallbacks as f64 / jobs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_accumulates_and_fractions() {
+        let mut b = Breakdown::default();
+        b.cpu = SimDuration::from_micros(60);
+        b.accel = SimDuration::from_micros(30);
+        b.orchestration = SimDuration::from_micros(5);
+        b.communication = SimDuration::from_micros(5);
+        b.external = SimDuration::from_micros(100);
+        assert_eq!(b.on_server(), SimDuration::from_micros(100));
+        assert!((b.orchestration_fraction() - 0.05).abs() < 1e-12);
+        let mut c = Breakdown::default();
+        c.merge(&b);
+        c.merge(&b);
+        assert_eq!(c.cpu, SimDuration::from_micros(120));
+    }
+
+    #[test]
+    fn empty_breakdown_is_safe() {
+        let b = Breakdown::default();
+        assert_eq!(b.orchestration_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fig1_shares_normalize() {
+        let mut s = ServiceStats::new("x");
+        s.tax_by_kind[AccelKind::Tcp.id() as usize] = SimDuration::from_micros(30);
+        s.tax_by_kind[AccelKind::Ser.id() as usize] = SimDuration::from_micros(50);
+        s.app_logic = SimDuration::from_micros(20);
+        let (shares, app) = s.fig1_shares();
+        assert!((shares[AccelKind::Tcp.id() as usize] - 0.3).abs() < 1e-12);
+        assert!((shares[AccelKind::Ser.id() as usize] - 0.5).abs() < 1e-12);
+        assert!((app - 0.2).abs() < 1e-12);
+        let total: f64 = shares.iter().sum::<f64>() + app;
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut a = ServiceStats::new("a");
+        a.latency.record_duration(SimDuration::from_micros(100));
+        a.completed = 1;
+        a.offered = 1;
+        let mut b = ServiceStats::new("b");
+        b.latency.record_duration(SimDuration::from_micros(300));
+        b.completed = 1;
+        b.offered = 2;
+        let report = RunReport {
+            per_service: vec![a, b],
+            totals: MachineTotals::default(),
+            measured: SimDuration::from_millis(1),
+            ended_at: SimTime::ZERO + SimDuration::from_millis(1),
+        };
+        assert_eq!(report.completed(), 2);
+        assert_eq!(report.offered(), 3);
+        assert_eq!(report.aggregate_latency().count(), 2);
+        assert!((report.throughput_rps() - 2000.0).abs() < 1e-9);
+        assert!((report.completion_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn glue_average() {
+        let mut t = MachineTotals::default();
+        assert_eq!(t.mean_glue_instructions(), 0.0);
+        t.dispatcher_instrs = 180;
+        t.dispatches = 10;
+        assert_eq!(t.mean_glue_instructions(), 18.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! The discrete-event loop.
+//!
+//! A simulation is a [`Model`] (all mutable state of the system under
+//! study) plus an [`EventQueue`] of timestamped events of the model's
+//! choosing. The engine pops the earliest event, hands it to the model,
+//! and the model schedules follow-on events. Events with equal
+//! timestamps are delivered in the order they were scheduled, which
+//! makes every run bit-for-bit reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A system being simulated.
+///
+/// Implementors own all mutable simulation state and define the event
+/// vocabulary. See the crate-level example.
+pub trait Model {
+    /// The event type this model understands.
+    type Event;
+
+    /// Handles one event at simulated time `now`, scheduling any
+    /// follow-on events on `queue`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
+}
+
+struct Scheduled<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event
+        // (and, within a timestamp, the lowest sequence number) on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The pending-event set of a simulation.
+///
+/// Events are delivered in `(time, insertion order)` order. The queue
+/// tracks the current simulated time; [`EventQueue::schedule`] is
+/// relative to it.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    seq: u64,
+    delivered: u64,
+}
+
+impl<E> EventQueue<E> {
+    fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            delivered: 0,
+        }
+    }
+
+    /// The current simulated time (the timestamp of the event being
+    /// handled, or the last one handled).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimDuration, event: E) {
+        let at = self.now + delay;
+        self.schedule_at(at, event);
+    }
+
+    /// Schedules `event` at the absolute instant `at`.
+    ///
+    /// Scheduling in the past is clamped to the current time (the event
+    /// still fires, immediately after already-queued same-time events).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Number of events not yet delivered.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        let s = self.heap.pop()?;
+        debug_assert!(s.at >= self.now, "event queue went backwards in time");
+        self.now = s.at;
+        self.delivered += 1;
+        Some((s.at, s.event))
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+}
+
+/// A model plus its event queue: the runnable simulation.
+pub struct Simulation<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+}
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation around `model` with an empty event queue at
+    /// time zero. Seed initial events through [`Simulation::queue_mut`].
+    pub fn new(model: M) -> Self {
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Shared access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Exclusive access to the model.
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Exclusive access to the event queue (e.g. to seed initial
+    /// events).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<M::Event> {
+        &mut self.queue
+    }
+
+    /// Consumes the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+
+    /// Delivers the next event, if any. Returns `false` when the queue
+    /// is empty.
+    pub fn step(&mut self) -> bool {
+        match self.queue.pop() {
+            Some((at, ev)) => {
+                self.model.handle(at, ev, &mut self.queue);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Runs until the event queue is empty.
+    ///
+    /// Beware: a model that always schedules follow-on events never
+    /// drains; use [`Simulation::run_until`] for open-loop workloads.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue is empty or the next event is at or after
+    /// `deadline`. Events exactly at `deadline` are *not* delivered, so
+    /// consecutive `run_until` calls partition time cleanly.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Recorder {
+        log: Vec<(u64, u32)>,
+    }
+
+    impl Model for Recorder {
+        type Event = u32;
+        fn handle(&mut self, now: SimTime, ev: u32, queue: &mut EventQueue<u32>) {
+            self.log.push((now.as_picos(), ev));
+            if ev == 1 {
+                // Chain two events at the same future instant; they must
+                // arrive in scheduling order.
+                queue.schedule(SimDuration::from_picos(10), 2);
+                queue.schedule(SimDuration::from_picos(10), 3);
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_then_fifo_order() {
+        let mut sim = Simulation::new(Recorder { log: vec![] });
+        sim.queue_mut().schedule(SimDuration::from_picos(5), 1);
+        sim.queue_mut().schedule(SimDuration::from_picos(1), 0);
+        sim.run();
+        assert_eq!(sim.model().log, vec![(1, 0), (5, 1), (15, 2), (15, 3)]);
+    }
+
+    #[test]
+    fn run_until_excludes_deadline() {
+        let mut sim = Simulation::new(Recorder { log: vec![] });
+        for i in 0..5 {
+            sim.queue_mut()
+                .schedule(SimDuration::from_picos(i * 10), 100 + i as u32);
+        }
+        sim.run_until(SimTime::from_picos(20));
+        assert_eq!(sim.model().log.len(), 2); // events at 0 and 10 only
+        sim.run_until(SimTime::from_picos(100));
+        assert_eq!(sim.model().log.len(), 5);
+        assert_eq!(sim.queue_mut().delivered(), 5);
+    }
+
+    #[test]
+    fn scheduling_in_past_clamps_to_now() {
+        struct PastScheduler {
+            fired: Vec<u64>,
+        }
+        impl Model for PastScheduler {
+            type Event = bool;
+            fn handle(&mut self, now: SimTime, ev: bool, queue: &mut EventQueue<bool>) {
+                self.fired.push(now.as_picos());
+                if ev {
+                    queue.schedule_at(SimTime::from_picos(1), false); // in the past
+                }
+            }
+        }
+        let mut sim = Simulation::new(PastScheduler { fired: vec![] });
+        sim.queue_mut().schedule(SimDuration::from_picos(50), true);
+        sim.run();
+        assert_eq!(sim.model().fired, vec![50, 50]);
+    }
+
+    #[test]
+    fn empty_queue_reports() {
+        let mut sim: Simulation<Recorder> = Simulation::new(Recorder { log: vec![] });
+        assert!(sim.queue_mut().is_empty());
+        assert_eq!(sim.queue_mut().len(), 0);
+        assert!(!sim.step());
+    }
+}

@@ -1,0 +1,65 @@
+//! Deterministic discrete-event simulation kernel for the AccelFlow
+//! reproduction.
+//!
+//! This crate is the foundation substrate: the paper evaluates AccelFlow
+//! with full-system simulation (QEMU + SST); we reproduce the evaluation
+//! with a deterministic discrete-event simulator built on this kernel.
+//!
+//! The kernel is deliberately small and generic:
+//!
+//! - [`time`] — picosecond-resolution simulated time ([`SimTime`],
+//!   [`SimDuration`]) and clock-frequency conversions ([`Frequency`]).
+//! - [`engine`] — the event loop: a [`Model`] handles its own event type
+//!   and schedules future events through an [`EventQueue`]. Ties in time
+//!   are broken by insertion order, so runs are exactly reproducible.
+//! - [`rng`] — a seeded random-number source and the distributions used
+//!   by the workload generators (exponential, log-normal, bounded
+//!   Pareto, empirical).
+//! - [`stats`] — streaming statistics: a log-bucketed latency
+//!   [`Histogram`], counters, and busy-time (utilization) trackers.
+//! - [`resource`] — helpers for modeling pools of identical servers
+//!   (DMA engines, processing elements, CPU cores).
+//! - [`trace_log`] — an event-tracing wrapper for debugging models.
+//!
+//! # Example
+//!
+//! ```
+//! use accelflow_sim::engine::{EventQueue, Model, Simulation};
+//! use accelflow_sim::time::{SimDuration, SimTime};
+//!
+//! struct Pinger {
+//!     bounces: u32,
+//! }
+//!
+//! enum Ev {
+//!     Ping,
+//! }
+//!
+//! impl Model for Pinger {
+//!     type Event = Ev;
+//!     fn handle(&mut self, _now: SimTime, _ev: Ev, queue: &mut EventQueue<Ev>) {
+//!         self.bounces += 1;
+//!         if self.bounces < 10 {
+//!             queue.schedule(SimDuration::from_nanos(5), Ev::Ping);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Pinger { bounces: 0 });
+//! sim.queue_mut().schedule(SimDuration::ZERO, Ev::Ping);
+//! sim.run();
+//! assert_eq!(sim.model().bounces, 10);
+//! assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_nanos(45));
+//! ```
+
+pub mod engine;
+pub mod resource;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace_log;
+
+pub use engine::{EventQueue, Model, Simulation};
+pub use rng::SimRng;
+pub use stats::Histogram;
+pub use time::{Frequency, SimDuration, SimTime};

@@ -1,0 +1,200 @@
+//! Helpers for modeling pools of identical servers.
+//!
+//! Many structures in the machine model are "k identical servers with
+//! FIFO overflow": the 10 A-DMA engines, the 8 PEs of an accelerator,
+//! the 36 CPU cores, the centralized RELIEF manager (k = 1). The
+//! [`ServerPool`] books work onto the earliest-available server and
+//! returns the scheduled start/finish instants, accumulating busy time
+//! for utilization reports.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::stats::BusyTracker;
+use crate::time::{SimDuration, SimTime};
+
+/// A booking made on a [`ServerPool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Booking {
+    /// When the work begins (>= the request time).
+    pub start: SimTime,
+    /// When the work completes.
+    pub finish: SimTime,
+}
+
+impl Booking {
+    /// Time spent waiting for a free server.
+    pub fn queueing(&self, requested: SimTime) -> SimDuration {
+        self.start.saturating_since(requested)
+    }
+}
+
+/// `k` identical servers with an implicit FIFO queue.
+///
+/// `acquire` books a job of a given service time on the server that
+/// frees up earliest. This is the classic event-calculus shortcut for
+/// M/G/k stations whose queueing discipline does not reorder jobs: the
+/// pool tracks only each server's next-free instant.
+///
+/// # Example
+///
+/// ```
+/// use accelflow_sim::resource::ServerPool;
+/// use accelflow_sim::time::{SimDuration, SimTime};
+///
+/// let mut dma = ServerPool::new(2);
+/// let t0 = SimTime::ZERO;
+/// let d = SimDuration::from_nanos(100);
+/// let a = dma.acquire(t0, d);
+/// let b = dma.acquire(t0, d);
+/// let c = dma.acquire(t0, d); // must wait for a server
+/// assert_eq!(a.start, t0);
+/// assert_eq!(b.start, t0);
+/// assert_eq!(c.start, t0 + d);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ServerPool {
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    busy: BusyTracker,
+    jobs: u64,
+}
+
+impl ServerPool {
+    /// Creates a pool of `servers` identical servers, all free at time
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize) -> Self {
+        assert!(servers > 0, "server pool must have at least one server");
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_at.push(Reverse(SimTime::ZERO));
+        }
+        ServerPool {
+            free_at,
+            busy: BusyTracker::new(),
+            jobs: 0,
+        }
+    }
+
+    /// Number of servers in the pool.
+    pub fn servers(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Books a job requested at `now` with service time `service`,
+    /// returning its start/finish instants. The job starts when the
+    /// earliest server frees up (or immediately if one is idle).
+    pub fn acquire(&mut self, now: SimTime, service: SimDuration) -> Booking {
+        let Reverse(free) = self.free_at.pop().expect("pool is never empty");
+        let start = free.max(now);
+        let finish = start + service;
+        self.free_at.push(Reverse(finish));
+        self.busy.add_busy(service);
+        self.jobs += 1;
+        Booking { start, finish }
+    }
+
+    /// The earliest instant at which a server is (or becomes) free.
+    pub fn earliest_free(&self) -> SimTime {
+        self.free_at.peek().expect("pool is never empty").0
+    }
+
+    /// Whether a server is idle at `now`.
+    pub fn has_idle(&self, now: SimTime) -> bool {
+        self.earliest_free() <= now
+    }
+
+    /// Number of servers busy at `now`.
+    pub fn busy_at(&self, now: SimTime) -> usize {
+        self.free_at.iter().filter(|Reverse(t)| *t > now).count()
+    }
+
+    /// Total jobs booked so far.
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Aggregate utilization over `[0, now]`, averaged across servers.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let window = now.as_picos() as f64 * self.servers() as f64;
+        if window == 0.0 {
+            0.0
+        } else {
+            (self.busy.busy().as_picos() as f64 / window).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_queue_fifo_across_servers() {
+        let mut pool = ServerPool::new(2);
+        let d = SimDuration::from_nanos(10);
+        let t0 = SimTime::ZERO;
+        let b1 = pool.acquire(t0, d);
+        let b2 = pool.acquire(t0, d);
+        let b3 = pool.acquire(t0, d);
+        let b4 = pool.acquire(t0, d);
+        assert_eq!(b1.start, t0);
+        assert_eq!(b2.start, t0);
+        assert_eq!(b3.start, t0 + d);
+        assert_eq!(b4.start, t0 + d);
+        assert_eq!(b4.finish, t0 + d * 2);
+        assert_eq!(b3.queueing(t0), d);
+        assert_eq!(pool.jobs(), 4);
+    }
+
+    #[test]
+    fn idle_servers_start_immediately() {
+        let mut pool = ServerPool::new(1);
+        let d = SimDuration::from_nanos(10);
+        let b1 = pool.acquire(SimTime::ZERO, d);
+        // Request long after the first finishes: no queueing.
+        let late = SimTime::from_picos(1_000_000);
+        let b2 = pool.acquire(late, d);
+        assert_eq!(b1.finish, SimTime::ZERO + d);
+        assert_eq!(b2.start, late);
+        assert_eq!(b2.queueing(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn busy_accounting() {
+        let mut pool = ServerPool::new(4);
+        let d = SimDuration::from_micros(1);
+        for _ in 0..4 {
+            pool.acquire(SimTime::ZERO, d);
+        }
+        let now = SimTime::ZERO + SimDuration::from_micros(2);
+        // 4 us of busy across 4 servers over a 2 us window = 50%.
+        assert!((pool.utilization(now) - 0.5).abs() < 1e-9);
+        assert_eq!(
+            pool.busy_at(SimTime::ZERO + SimDuration::from_nanos(500)),
+            4
+        );
+        assert_eq!(pool.busy_at(now), 0);
+    }
+
+    #[test]
+    fn earliest_free_and_idle() {
+        let mut pool = ServerPool::new(2);
+        assert!(pool.has_idle(SimTime::ZERO));
+        let d = SimDuration::from_nanos(100);
+        pool.acquire(SimTime::ZERO, d);
+        assert!(pool.has_idle(SimTime::ZERO)); // second server idle
+        pool.acquire(SimTime::ZERO, d);
+        assert!(!pool.has_idle(SimTime::ZERO));
+        assert_eq!(pool.earliest_free(), SimTime::ZERO + d);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = ServerPool::new(0);
+    }
+}

@@ -1,0 +1,227 @@
+//! Event tracing for debugging simulations.
+//!
+//! Wrap any [`Model`] in a [`Traced`] to capture a bounded log of the
+//! events it handles — the discrete-event analogue of a waveform dump.
+//! The log is a ring buffer, so long runs keep only the most recent
+//! window, and tracing can be toggled at run time to capture just the
+//! interval under investigation.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::engine::{EventQueue, Model};
+use crate::time::SimTime;
+
+/// One captured event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LogEntry {
+    /// When the event was delivered.
+    pub at: SimTime,
+    /// Delivery index (monotonic across the run, even when paused).
+    pub seq: u64,
+    /// The event, rendered at capture time.
+    pub event: String,
+}
+
+impl fmt::Display for LogEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} #{}] {}", self.at, self.seq, self.event)
+    }
+}
+
+/// A [`Model`] wrapper that records delivered events.
+///
+/// # Example
+///
+/// ```
+/// use accelflow_sim::engine::{EventQueue, Model, Simulation};
+/// use accelflow_sim::time::{SimDuration, SimTime};
+/// use accelflow_sim::trace_log::Traced;
+///
+/// struct Counter(u32);
+/// impl Model for Counter {
+///     type Event = u32;
+///     fn handle(&mut self, _t: SimTime, ev: u32, q: &mut EventQueue<u32>) {
+///         self.0 += ev;
+///         if ev > 1 {
+///             q.schedule(SimDuration::from_nanos(1), ev - 1);
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(Traced::new(Counter(0), 16));
+/// sim.queue_mut().schedule(SimDuration::ZERO, 3);
+/// sim.run();
+/// let log = sim.model().log();
+/// assert_eq!(log.len(), 3); // events 3, 2, 1
+/// assert!(log[0].event.contains('3'));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Traced<M> {
+    inner: M,
+    log: VecDeque<LogEntry>,
+    capacity: usize,
+    enabled: bool,
+    delivered: u64,
+}
+
+impl<M> Traced<M> {
+    /// Wraps `inner`, keeping at most `capacity` recent events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(inner: M, capacity: usize) -> Self {
+        assert!(capacity > 0, "trace log capacity must be positive");
+        Traced {
+            inner,
+            log: VecDeque::with_capacity(capacity),
+            capacity,
+            enabled: true,
+            delivered: 0,
+        }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Exclusive access to the wrapped model.
+    pub fn inner_mut(&mut self) -> &mut M {
+        &mut self.inner
+    }
+
+    /// Unwraps, discarding the log.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+
+    /// Pauses or resumes capture (delivery indices keep advancing).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// The captured entries, oldest first.
+    pub fn log(&self) -> &VecDeque<LogEntry> {
+        &self.log
+    }
+
+    /// Discards captured entries.
+    pub fn clear(&mut self) {
+        self.log.clear();
+    }
+
+    /// Total events delivered to the wrapped model.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Renders the log, one entry per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for entry in &self.log {
+            out.push_str(&entry.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl<M> Model for Traced<M>
+where
+    M: Model,
+    M::Event: fmt::Debug,
+{
+    type Event = M::Event;
+
+    fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>) {
+        if self.enabled {
+            if self.log.len() == self.capacity {
+                self.log.pop_front();
+            }
+            self.log.push_back(LogEntry {
+                at: now,
+                seq: self.delivered,
+                event: format!("{event:?}"),
+            });
+        }
+        self.delivered += 1;
+        self.inner.handle(now, event, queue);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+    use crate::time::SimDuration;
+
+    struct Chain {
+        left: u32,
+    }
+
+    impl Model for Chain {
+        type Event = u32;
+        fn handle(&mut self, _now: SimTime, ev: u32, queue: &mut EventQueue<u32>) {
+            self.left = ev;
+            if ev > 0 {
+                queue.schedule(SimDuration::from_nanos(10), ev - 1);
+            }
+        }
+    }
+
+    fn run_chain(capacity: usize, start: u32) -> Traced<Chain> {
+        let mut sim = Simulation::new(Traced::new(Chain { left: 0 }, capacity));
+        sim.queue_mut().schedule(SimDuration::ZERO, start);
+        sim.run();
+        sim.into_model()
+    }
+
+    #[test]
+    fn captures_events_in_order() {
+        let traced = run_chain(16, 4);
+        let events: Vec<&str> = traced.log().iter().map(|e| e.event.as_str()).collect();
+        assert_eq!(events, vec!["4", "3", "2", "1", "0"]);
+        assert_eq!(traced.delivered(), 5);
+        assert_eq!(traced.inner().left, 0);
+        // Sequence numbers and times are monotone.
+        for w in traced.log().iter().collect::<Vec<_>>().windows(2) {
+            assert!(w[0].seq < w[1].seq);
+            assert!(w[0].at <= w[1].at);
+        }
+    }
+
+    #[test]
+    fn ring_buffer_keeps_the_tail() {
+        let traced = run_chain(3, 9);
+        assert_eq!(traced.log().len(), 3);
+        let events: Vec<&str> = traced.log().iter().map(|e| e.event.as_str()).collect();
+        assert_eq!(events, vec!["2", "1", "0"]);
+        assert_eq!(traced.delivered(), 10);
+    }
+
+    #[test]
+    fn pausing_skips_capture_but_counts_delivery() {
+        let mut sim = Simulation::new(Traced::new(Chain { left: 0 }, 16));
+        sim.model_mut().set_enabled(false);
+        sim.queue_mut().schedule(SimDuration::ZERO, 2);
+        sim.run();
+        assert!(sim.model().log().is_empty());
+        assert_eq!(sim.model().delivered(), 3);
+    }
+
+    #[test]
+    fn dump_renders_lines() {
+        let traced = run_chain(16, 1);
+        let dump = traced.dump();
+        assert_eq!(dump.lines().count(), 2);
+        assert!(dump.contains("#0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = Traced::new(Chain { left: 0 }, 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! The trace-construction API (paper §V-4, Listing 1).
+//!
+//! The paper's programming model exposes three constructors — `seq`
+//! (linear accelerator chain), `branch` (conditional control flow on
+//! the previous accelerator's output), and `trans` (data-format change)
+//! — from which developers build traces. [`TraceBuilder`] is that API
+//! as a consuming Rust builder; it flattens nested branch arms into the
+//! forward-only slot program of [`Trace`].
+
+use crate::atm::AtmAddr;
+use crate::cond::BranchCond;
+use crate::format::{DataFormat, Transform};
+use crate::ir::{Slot, Trace};
+use crate::kind::AccelKind;
+
+/// Builds a [`Trace`] from `seq`/`branch`/`trans` combinators.
+///
+/// See the crate-level example for the paper's Listing 1 (trace T1).
+#[derive(Debug)]
+pub struct TraceBuilder {
+    name: String,
+    slots: Vec<Slot>,
+}
+
+impl TraceBuilder {
+    /// Starts a new trace with the given registered name.
+    pub fn new(name: impl Into<String>) -> Self {
+        TraceBuilder {
+            name: name.into(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Appends a linear chain of accelerator invocations — the paper's
+    /// `seq(*accels)`.
+    pub fn seq(mut self, accels: impl IntoIterator<Item = AccelKind>) -> Self {
+        for kind in accels {
+            self.slots.push(Slot::Accel(kind));
+        }
+        self
+    }
+
+    /// Appends one accelerator invocation.
+    pub fn invoke(self, kind: AccelKind) -> Self {
+        self.seq([kind])
+    }
+
+    /// Appends a conditional — the paper's `branch(condition-op,
+    /// on-true, on-false)`. Each arm is built by its closure on an
+    /// empty sub-builder; arms that fall through rejoin the main
+    /// sequence after the branch.
+    pub fn branch(
+        mut self,
+        cond: BranchCond,
+        on_true: impl FnOnce(TraceBuilder) -> TraceBuilder,
+        on_false: impl FnOnce(TraceBuilder) -> TraceBuilder,
+    ) -> Self {
+        let true_arm = on_true(TraceBuilder::new("")).slots;
+        let false_arm = on_false(TraceBuilder::new("")).slots;
+
+        let branch_idx = self.slots.len();
+        let true_start = branch_idx + 1;
+        // A jump over the false arm is needed only when the false arm
+        // has slots for the true arm to fall through into.
+        let needs_jump = !false_arm.is_empty();
+        let jump_len = usize::from(needs_jump);
+        let false_start = true_start + true_arm.len() + jump_len;
+        let join = false_start + false_arm.len();
+
+        self.slots.push(Slot::Branch {
+            cond,
+            on_true: true_start as u8,
+            on_false: false_start as u8,
+        });
+        self.splice(true_arm, true_start);
+        if needs_jump {
+            self.slots.push(Slot::Jump(join as u8));
+        }
+        self.splice(false_arm, false_start);
+        self
+    }
+
+    /// Appends a data-format transformation — the paper's
+    /// `trans(src, dst)`.
+    pub fn trans(mut self, src: DataFormat, dst: DataFormat) -> Self {
+        self.slots.push(Slot::Transform(Transform { src, dst }));
+        self
+    }
+
+    /// Appends a terminal "deliver result to the originating CPU core".
+    pub fn to_cpu(mut self) -> Self {
+        self.slots.push(Slot::ToCpu);
+        self
+    }
+
+    /// Appends a "deliver a copy to the CPU and continue" (T6's
+    /// parallel notify + cache write).
+    pub fn fork_to_cpu(mut self) -> Self {
+        self.slots.push(Slot::ForkToCpu);
+        self
+    }
+
+    /// Appends a terminal chain to the trace stored at `addr` in the
+    /// ATM.
+    pub fn next_trace(mut self, addr: AtmAddr) -> Self {
+        self.slots.push(Slot::NextTrace(addr));
+        self
+    }
+
+    /// Finalizes and validates the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assembled program is invalid (see [`Trace::new`]).
+    pub fn build(self) -> Trace {
+        Trace::new(self.name, self.slots)
+    }
+
+    /// Splices sub-builder slots in at `base`, offsetting their
+    /// internal targets.
+    fn splice(&mut self, arm: Vec<Slot>, base: usize) {
+        debug_assert_eq!(self.slots.len(), base);
+        for slot in arm {
+            self.slots.push(match slot {
+                Slot::Branch {
+                    cond,
+                    on_true,
+                    on_false,
+                } => Slot::Branch {
+                    cond,
+                    on_true: on_true + base as u8,
+                    on_false: on_false + base as u8,
+                },
+                Slot::Jump(t) => Slot::Jump(t + base as u8),
+                other => other,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::PayloadFlags;
+    use crate::ir::{Next, PathStep, PositionMark};
+    use AccelKind::*;
+
+    #[test]
+    fn seq_builds_linear_chain() {
+        let t = TraceBuilder::new("t2")
+            .seq([Ser, Rpc, Encr, Tcp])
+            .to_cpu()
+            .build();
+        assert_eq!(t.accelerator_count(), 4);
+        assert_eq!(t.branch_count(), 0);
+        let path = t.resolve_path(&PayloadFlags::default());
+        assert_eq!(
+            path,
+            vec![
+                PathStep::Accel(Ser),
+                PathStep::Accel(Rpc),
+                PathStep::Accel(Encr),
+                PathStep::Accel(Tcp),
+                PathStep::Cpu
+            ]
+        );
+    }
+
+    #[test]
+    fn branch_arms_rejoin() {
+        // T1 shape: branch inserts Dcmp only when compressed.
+        let t = TraceBuilder::new("t1")
+            .seq([Tcp, Decr, Rpc, Dser])
+            .branch(
+                BranchCond::Compressed,
+                |b| b.trans(DataFormat::Json, DataFormat::Str).seq([Dcmp]),
+                |b| b,
+            )
+            .seq([Ldb])
+            .to_cpu()
+            .build();
+        let plain = t.resolve_path(&PayloadFlags::default());
+        let compressed = t.resolve_path(&PayloadFlags {
+            compressed: true,
+            ..Default::default()
+        });
+        assert_eq!(plain.len() + 1, compressed.len());
+        assert!(compressed.contains(&PathStep::Accel(Dcmp)));
+        assert!(!plain.contains(&PathStep::Accel(Dcmp)));
+        // Both paths end LdB → CPU.
+        assert_eq!(plain.last(), Some(&PathStep::Cpu));
+        assert_eq!(plain[plain.len() - 2], PathStep::Accel(Ldb));
+        assert_eq!(compressed[compressed.len() - 2], PathStep::Accel(Ldb));
+    }
+
+    #[test]
+    fn divergent_arms_with_terminals() {
+        // T5 shape: hit → LdB, CPU; miss → Ser, Encr, Tcp, chain.
+        let t = TraceBuilder::new("t5")
+            .seq([Tcp, Decr, Dser])
+            .branch(
+                BranchCond::Hit,
+                |b| b.seq([Ldb]).to_cpu(),
+                |b| b.seq([Ser, Encr, Tcp]).next_trace(AtmAddr(6)),
+            )
+            .build();
+        let hit = t.resolve_path(&PayloadFlags {
+            hit: true,
+            ..Default::default()
+        });
+        let miss = t.resolve_path(&PayloadFlags::default());
+        assert_eq!(hit.last(), Some(&PathStep::Cpu));
+        assert_eq!(miss.last(), Some(&PathStep::Chain(AtmAddr(6))));
+        assert!(miss.contains(&PathStep::Accel(Ser)));
+        assert!(hit.contains(&PathStep::Accel(Ldb)));
+    }
+
+    #[test]
+    fn nested_branches() {
+        let t = TraceBuilder::new("t6ish")
+            .seq([Tcp, Dser])
+            .branch(
+                BranchCond::Found,
+                |b| {
+                    b.branch(BranchCond::Compressed, |b| b.seq([Dcmp]), |b| b)
+                        .fork_to_cpu()
+                        .seq([Ser, Tcp])
+                },
+                |b| b.seq([Ser, Encr, Tcp]).to_cpu(),
+            )
+            .build();
+        let found_cmp = t.resolve_path(&PayloadFlags {
+            found: true,
+            compressed: true,
+            ..Default::default()
+        });
+        assert!(found_cmp.contains(&PathStep::Accel(Dcmp)));
+        // Fork delivered the CPU copy mid-path.
+        let cpu_positions: Vec<usize> = found_cmp
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == PathStep::Cpu)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(!cpu_positions.is_empty());
+        assert!(
+            cpu_positions[0] < found_cmp.len() - 1,
+            "fork happens mid-trace"
+        );
+
+        let not_found = t.resolve_path(&PayloadFlags::default());
+        assert!(not_found.contains(&PathStep::Accel(Encr)));
+        assert_eq!(not_found.last(), Some(&PathStep::Cpu));
+    }
+
+    #[test]
+    fn empty_false_arm_generates_no_jump() {
+        let t = TraceBuilder::new("x")
+            .invoke(Dser)
+            .branch(BranchCond::Compressed, |b| b.invoke(Dcmp), |b| b)
+            .invoke(Ldb)
+            .build();
+        assert!(!t.slots().iter().any(|s| matches!(s, Slot::Jump(_))));
+        // Taken path goes Dser → Dcmp → Ldb.
+        let adv = t.advance(
+            PositionMark(0),
+            &PayloadFlags {
+                compressed: true,
+                ..Default::default()
+            },
+        );
+        assert!(matches!(adv.next, Next::Invoke { kind: Dcmp, .. }));
+    }
+
+    #[test]
+    fn builder_matches_listing_one() {
+        // Listing 1 constructs Fig 4a's trace; validate its structure.
+        let t = TraceBuilder::new("func_req")
+            .seq([Tcp, Decr, Rpc, Dser])
+            .branch(
+                BranchCond::Compressed,
+                |b| b.trans(DataFormat::Json, DataFormat::Str).seq([Dcmp]),
+                |b| b,
+            )
+            .seq([Ldb])
+            .to_cpu()
+            .build();
+        assert_eq!(t.name(), "func_req");
+        assert_eq!(t.accelerator_count(), 6);
+        assert_eq!(t.branch_count(), 1);
+        assert_eq!(t.all_paths().len(), 2);
+    }
+}

@@ -1,0 +1,318 @@
+//! Automated trace synthesis (the paper's §V-4 / §IX future work:
+//! "we will explore automating trace generation").
+//!
+//! Developers usually hand-build traces with
+//! [`crate::builder::TraceBuilder`]. This module synthesizes a trace
+//! *from examples*: given the accelerator sequences a service executes
+//! under different payload conditions (e.g. collected by profiling),
+//! [`synthesize`] produces a single branching trace whose resolved
+//! paths reproduce every example.
+//!
+//! The algorithm is longest-common-prefix factoring: all variants share
+//! their common prefix; at the first divergence, a branch condition
+//! that separates the variants is chosen from the flags they were
+//! observed under, and each side is synthesized recursively.
+
+use crate::builder::TraceBuilder;
+use crate::cond::{BranchCond, PayloadFlags};
+use crate::ir::Trace;
+use crate::kind::AccelKind;
+
+/// One observed execution variant: the payload conditions and the
+/// accelerator sequence the service ran under them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObservedPath {
+    /// The payload flags in force.
+    pub flags: PayloadFlags,
+    /// The accelerator sequence executed.
+    pub accels: Vec<AccelKind>,
+}
+
+impl ObservedPath {
+    /// Creates an observation.
+    pub fn new(flags: PayloadFlags, accels: impl IntoIterator<Item = AccelKind>) -> Self {
+        ObservedPath {
+            flags,
+            accels: accels.into_iter().collect(),
+        }
+    }
+}
+
+/// Errors from trace synthesis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SynthesisError {
+    /// No observations were provided.
+    NoObservations,
+    /// Two observations diverge but no tested condition separates them.
+    Indistinguishable {
+        /// Index of the first conflicting observation.
+        first: usize,
+        /// Index of the second.
+        second: usize,
+    },
+}
+
+impl std::fmt::Display for SynthesisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthesisError::NoObservations => write!(f, "no observed paths to synthesize from"),
+            SynthesisError::Indistinguishable { first, second } => write!(
+                f,
+                "observations {first} and {second} diverge but share all payload flags"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SynthesisError {}
+
+const CONDS: [BranchCond; 5] = [
+    BranchCond::Compressed,
+    BranchCond::Hit,
+    BranchCond::Found,
+    BranchCond::Exception,
+    BranchCond::CacheCompressed,
+];
+
+/// Synthesizes a branching trace that reproduces every observed path.
+///
+/// # Errors
+///
+/// Fails if no observations are given, or if two observations execute
+/// different sequences under identical flag values (no branch condition
+/// can tell them apart).
+///
+/// # Example
+///
+/// ```
+/// use accelflow_trace::compiler::{synthesize, ObservedPath};
+/// use accelflow_trace::cond::PayloadFlags;
+/// use accelflow_trace::kind::AccelKind::*;
+///
+/// // Two profiled runs of "receive function request": with and
+/// // without a compressed payload.
+/// let plain = PayloadFlags::default();
+/// let zipped = PayloadFlags { compressed: true, ..Default::default() };
+/// let trace = synthesize(
+///     "learned_t1",
+///     &[
+///         ObservedPath::new(plain, [Tcp, Decr, Rpc, Dser, Ldb]),
+///         ObservedPath::new(zipped, [Tcp, Decr, Rpc, Dser, Dcmp, Ldb]),
+///     ],
+/// )
+/// .unwrap();
+/// assert_eq!(trace.resolve_path(&plain).len(), 6); // 5 accels + CPU
+/// assert_eq!(trace.resolve_path(&zipped).len(), 7);
+/// assert_eq!(trace.branch_count(), 1);
+/// ```
+pub fn synthesize(name: &str, observations: &[ObservedPath]) -> Result<Trace, SynthesisError> {
+    if observations.is_empty() {
+        return Err(SynthesisError::NoObservations);
+    }
+    // Deduplicate identical sequences (flags may differ; any of them
+    // reaches the same path).
+    let indices: Vec<usize> = (0..observations.len()).collect();
+    let builder = synth_rec(TraceBuilder::new(name), observations, &indices, 0)?;
+    Ok(builder.to_cpu().build())
+}
+
+fn synth_rec(
+    mut builder: TraceBuilder,
+    obs: &[ObservedPath],
+    active: &[usize],
+    depth: usize,
+) -> Result<TraceBuilder, SynthesisError> {
+    // Emit the longest common prefix of the active sequences.
+    let mut pos = depth;
+    loop {
+        let first = &obs[active[0]].accels;
+        if pos >= first.len() {
+            break;
+        }
+        let kind = first[pos];
+        if active
+            .iter()
+            .all(|&i| obs[i].accels.get(pos) == Some(&kind))
+        {
+            builder = builder.invoke(kind);
+            pos += 1;
+        } else {
+            break;
+        }
+    }
+    // All sequences fully emitted?
+    if active.iter().all(|&i| obs[i].accels.len() == pos) {
+        return Ok(builder);
+    }
+    // Divergence (or some sequences end here): find a condition that
+    // splits the active set into two non-empty halves consistent with
+    // the remaining suffixes.
+    for cond in CONDS {
+        let (yes, no): (Vec<usize>, Vec<usize>) =
+            active.iter().partition(|&&i| cond.evaluate(&obs[i].flags));
+        if yes.is_empty() || no.is_empty() {
+            continue;
+        }
+        // The split must actually separate the differing suffixes: all
+        // members of each side must agree on their next step.
+        let agrees = |side: &[usize]| {
+            let next = obs[side[0]].accels.get(pos);
+            side.iter().all(|&i| obs[i].accels.get(pos) == next)
+        };
+        if !agrees(&yes) || !agrees(&no) {
+            continue;
+        }
+        // Build both arms up front (each arm starts from an empty
+        // sub-builder, exactly what `branch` hands its closures).
+        let yes_arm = synth_rec(TraceBuilder::new(""), obs, &yes, pos)?;
+        let no_arm = synth_rec(TraceBuilder::new(""), obs, &no, pos)?;
+        return Ok(builder.branch(cond, move |_| yes_arm, move |_| no_arm));
+    }
+    // No condition separates the conflicting observations.
+    let first = active[0];
+    let second = active
+        .iter()
+        .copied()
+        .find(|&i| obs[i].accels.get(pos) != obs[first].accels.get(pos))
+        .unwrap_or(first);
+    Err(SynthesisError::Indistinguishable { first, second })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use AccelKind::*;
+
+    fn flags(compressed: bool, hit: bool, exception: bool) -> PayloadFlags {
+        PayloadFlags {
+            compressed,
+            hit,
+            exception,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn straight_line_needs_no_branch() {
+        let t = synthesize(
+            "line",
+            &[ObservedPath::new(
+                flags(false, false, false),
+                [Ser, Encr, Tcp],
+            )],
+        )
+        .unwrap();
+        assert_eq!(t.branch_count(), 0);
+        assert_eq!(t.accelerator_count(), 3);
+    }
+
+    #[test]
+    fn identical_paths_under_different_flags_merge() {
+        let t = synthesize(
+            "merge",
+            &[
+                ObservedPath::new(flags(false, false, false), [Ser, Tcp]),
+                ObservedPath::new(flags(true, true, false), [Ser, Tcp]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.branch_count(), 0);
+    }
+
+    #[test]
+    fn learns_the_t1_branch() {
+        let plain = flags(false, false, false);
+        let zipped = flags(true, false, false);
+        let t = synthesize(
+            "t1ish",
+            &[
+                ObservedPath::new(plain, vec![Tcp, Decr, Rpc, Dser, Ldb]),
+                ObservedPath::new(zipped, vec![Tcp, Decr, Rpc, Dser, Dcmp, Ldb]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.branch_count(), 1);
+        let p = t.resolve_path(&plain);
+        let z = t.resolve_path(&zipped);
+        assert_eq!(p.len(), 6);
+        assert_eq!(z.len(), 7);
+        assert!(z
+            .iter()
+            .any(|s| matches!(s, crate::ir::PathStep::Accel(Dcmp))));
+    }
+
+    #[test]
+    fn learns_nested_branches() {
+        // Hit? selects LdB-vs-resend; within miss, Exception? selects
+        // the error path.
+        let hit = flags(false, true, false);
+        let miss = flags(false, false, false);
+        let miss_exc = flags(false, false, true);
+        let t = synthesize(
+            "nested",
+            &[
+                ObservedPath::new(hit, vec![Tcp, Decr, Dser, Ldb]),
+                ObservedPath::new(miss, vec![Tcp, Decr, Dser, Ser, Encr, Tcp]),
+                ObservedPath::new(miss_exc, vec![Tcp, Decr, Dser, Ser, Rpc, Encr, Tcp]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.branch_count(), 2);
+        for (f, len) in [(hit, 5), (miss, 7), (miss_exc, 8)] {
+            assert_eq!(t.resolve_path(&f).len(), len, "{f:?}");
+        }
+    }
+
+    #[test]
+    fn conflicting_observations_are_rejected() {
+        let f = flags(false, false, false);
+        let err = synthesize(
+            "conflict",
+            &[
+                ObservedPath::new(f, vec![Ser, Tcp]),
+                ObservedPath::new(f, vec![Ser, Encr]),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SynthesisError::Indistinguishable { .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(
+            synthesize("none", &[]).unwrap_err(),
+            SynthesisError::NoObservations
+        );
+    }
+
+    #[test]
+    fn prefix_only_divergence() {
+        // One path is a strict prefix of the other: the branch decides
+        // whether to continue.
+        let stop = flags(false, true, false);
+        let go = flags(false, false, false);
+        let t = synthesize(
+            "prefix",
+            &[
+                ObservedPath::new(stop, vec![Tcp, Dser]),
+                ObservedPath::new(go, vec![Tcp, Dser, Ser, Tcp]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(t.resolve_path(&stop).len(), 3);
+        assert_eq!(t.resolve_path(&go).len(), 5);
+    }
+
+    #[test]
+    fn synthesized_traces_pack() {
+        let t = synthesize(
+            "packable",
+            &[
+                ObservedPath::new(flags(true, false, false), vec![Tcp, Dcmp, Ldb]),
+                ObservedPath::new(flags(false, false, false), vec![Tcp, Ldb]),
+            ],
+        )
+        .unwrap();
+        assert!(crate::packed::pack(&t).is_ok());
+    }
+}

@@ -1,0 +1,216 @@
+//! Branch conditions and the payload flags they test (paper §III Q2,
+//! §IV-A, §VII-B2).
+//!
+//! The paper finds that 54–83% of accelerator sequences contain at
+//! least one conditional, and that the conditions are simple: "checking
+//! a few bits in the payload, and performing simple comparisons". The
+//! four conditions the services exercise are `Compressed?`, `Hit?`,
+//! `Found?`, and `Exception?` (§VII-B2), plus the `C-Compressed?` test
+//! of trace T6 (does the DB cache store compressed entries). A generic
+//! field test covers new applications.
+
+use std::fmt;
+
+/// The payload-dependent facts a branch condition can test.
+///
+/// In hardware these are bits in the message payload; in the simulation
+/// the workload model decides them per request and the output
+/// dispatcher reads them when resolving a branch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct PayloadFlags {
+    /// The payload (or response body) is compressed.
+    pub compressed: bool,
+    /// The read hit in the database cache.
+    pub hit: bool,
+    /// The record was found in the database.
+    pub found: bool,
+    /// The response carries an exception.
+    pub exception: bool,
+    /// The database cache stores compressed entries.
+    pub cache_compressed: bool,
+    /// Raw payload byte available to [`BranchCond::Custom`] tests.
+    pub custom_field: u8,
+}
+
+/// A branch condition embedded in a trace.
+///
+/// # Example
+///
+/// ```
+/// use accelflow_trace::cond::{BranchCond, PayloadFlags};
+///
+/// let flags = PayloadFlags { compressed: true, ..PayloadFlags::default() };
+/// assert!(BranchCond::Compressed.evaluate(&flags));
+/// assert!(!BranchCond::Hit.evaluate(&flags));
+///
+/// // "if (field & 0b0011) ..." — the generic form from Listing 1.
+/// let custom = BranchCond::Custom { mask: 0b0011, expect: 0b0001 };
+/// let flags = PayloadFlags { custom_field: 0b0101, ..PayloadFlags::default() };
+/// assert!(custom.evaluate(&flags));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// Is the payload compressed? (T1, T5, T6, T9–T12.)
+    Compressed,
+    /// Did the read hit in the DB cache? (T5.)
+    Hit,
+    /// Was the record found in the DB? (T6.)
+    Found,
+    /// Does the response carry an exception? (T7, T10.)
+    Exception,
+    /// Does the DB cache store compressed data? (T6's C-Compressed.)
+    CacheCompressed,
+    /// Generic masked-compare on a payload field.
+    Custom {
+        /// Bit mask applied to the payload field.
+        mask: u8,
+        /// Expected value of the masked field.
+        expect: u8,
+    },
+}
+
+impl BranchCond {
+    /// Evaluates the condition against a payload's flags.
+    pub fn evaluate(self, flags: &PayloadFlags) -> bool {
+        match self {
+            BranchCond::Compressed => flags.compressed,
+            BranchCond::Hit => flags.hit,
+            BranchCond::Found => flags.found,
+            BranchCond::Exception => flags.exception,
+            BranchCond::CacheCompressed => flags.cache_compressed,
+            BranchCond::Custom { mask, expect } => flags.custom_field & mask == expect,
+        }
+    }
+
+    /// Extra RISC-like glue instructions the output dispatcher executes
+    /// to resolve this branch (paper §VII-B2: "processing a branch adds
+    /// the equivalent of 7 additional RISC instructions" on average).
+    pub fn resolve_instructions(self) -> u32 {
+        match self {
+            // The named flags are single-bit tests: load + mask + branch.
+            BranchCond::Compressed
+            | BranchCond::Hit
+            | BranchCond::Found
+            | BranchCond::Exception
+            | BranchCond::CacheCompressed => 7,
+            // Custom tests do load + mask + compare + branch.
+            BranchCond::Custom { .. } => 9,
+        }
+    }
+
+    /// 4-bit condition code for the packed encoding.
+    pub(crate) fn code(self) -> u8 {
+        match self {
+            BranchCond::Compressed => 0,
+            BranchCond::Hit => 1,
+            BranchCond::Found => 2,
+            BranchCond::Exception => 3,
+            BranchCond::CacheCompressed => 4,
+            BranchCond::Custom { .. } => 5,
+        }
+    }
+
+    pub(crate) fn from_code(code: u8, mask: u8, expect: u8) -> Option<BranchCond> {
+        Some(match code {
+            0 => BranchCond::Compressed,
+            1 => BranchCond::Hit,
+            2 => BranchCond::Found,
+            3 => BranchCond::Exception,
+            4 => BranchCond::CacheCompressed,
+            5 => BranchCond::Custom { mask, expect },
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for BranchCond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BranchCond::Compressed => write!(f, "Compressed?"),
+            BranchCond::Hit => write!(f, "Hit?"),
+            BranchCond::Found => write!(f, "Found?"),
+            BranchCond::Exception => write!(f, "Exception?"),
+            BranchCond::CacheCompressed => write!(f, "C-Compressed?"),
+            BranchCond::Custom { mask, expect } => {
+                write!(f, "(field & {mask:#04x}) == {expect:#04x}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_conditions_read_their_flag() {
+        let mut flags = PayloadFlags::default();
+        assert!(!BranchCond::Compressed.evaluate(&flags));
+        flags.compressed = true;
+        assert!(BranchCond::Compressed.evaluate(&flags));
+        flags.hit = true;
+        flags.found = true;
+        flags.exception = true;
+        flags.cache_compressed = true;
+        for cond in [
+            BranchCond::Hit,
+            BranchCond::Found,
+            BranchCond::Exception,
+            BranchCond::CacheCompressed,
+        ] {
+            assert!(cond.evaluate(&flags), "{cond}");
+        }
+    }
+
+    #[test]
+    fn custom_condition_masks_and_compares() {
+        let cond = BranchCond::Custom {
+            mask: 0xF0,
+            expect: 0xA0,
+        };
+        let mut flags = PayloadFlags {
+            custom_field: 0xA7,
+            ..Default::default()
+        };
+        assert!(cond.evaluate(&flags));
+        flags.custom_field = 0xB7;
+        assert!(!cond.evaluate(&flags));
+    }
+
+    #[test]
+    fn resolution_cost_matches_paper() {
+        // Paper §VII-B2: a branch adds ~7 RISC instructions.
+        assert_eq!(BranchCond::Compressed.resolve_instructions(), 7);
+        assert_eq!(
+            BranchCond::Custom { mask: 1, expect: 1 }.resolve_instructions(),
+            9
+        );
+    }
+
+    #[test]
+    fn codes_roundtrip() {
+        for cond in [
+            BranchCond::Compressed,
+            BranchCond::Hit,
+            BranchCond::Found,
+            BranchCond::Exception,
+            BranchCond::CacheCompressed,
+            BranchCond::Custom { mask: 3, expect: 1 },
+        ] {
+            let (mask, expect) = match cond {
+                BranchCond::Custom { mask, expect } => (mask, expect),
+                _ => (0, 0),
+            };
+            assert_eq!(BranchCond::from_code(cond.code(), mask, expect), Some(cond));
+        }
+        assert_eq!(BranchCond::from_code(15, 0, 0), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(BranchCond::Hit.to_string(), "Hit?");
+        assert!(BranchCond::Custom { mask: 3, expect: 1 }
+            .to_string()
+            .contains("field"));
+    }
+}

@@ -1,0 +1,131 @@
+//! The nine accelerator kinds of the ensemble (paper §III).
+//!
+//! The ensemble accelerates every major source of datacenter tax: TCP
+//! processing (F4T), de/encryption (QTLS), RPC framing (Cerebros),
+//! de/serialization (ProtoAcc), de/compression (CDPU), and load
+//! balancing (Intel DLB).
+
+use std::fmt;
+
+/// One of the nine accelerator types integrated on-package.
+///
+/// The discriminant doubles as the 4-bit accelerator ID used in the
+/// packed trace encoding (paper §IV-A: "since there are nine
+/// accelerator types, we use 4 bits per accelerator in the trace").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum AccelKind {
+    /// TCP stack processing (reassembly, congestion control, checksums).
+    Tcp = 0,
+    /// Encryption (SSL/TLS send side).
+    Encr = 1,
+    /// Decryption (SSL/TLS receive side).
+    Decr = 2,
+    /// RPC framing: decode function name, fetch handler/descriptor.
+    Rpc = 3,
+    /// Serialization (application format → wire format).
+    Ser = 4,
+    /// Deserialization (wire format → application format).
+    Dser = 5,
+    /// Compression.
+    Cmp = 6,
+    /// Decompression.
+    Dcmp = 7,
+    /// Load balancing: picks a core to run the request (no payload
+    /// processing).
+    Ldb = 8,
+}
+
+impl AccelKind {
+    /// All kinds, in ID order.
+    pub const ALL: [AccelKind; 9] = [
+        AccelKind::Tcp,
+        AccelKind::Encr,
+        AccelKind::Decr,
+        AccelKind::Rpc,
+        AccelKind::Ser,
+        AccelKind::Dser,
+        AccelKind::Cmp,
+        AccelKind::Dcmp,
+        AccelKind::Ldb,
+    ];
+
+    /// Number of accelerator kinds.
+    pub const COUNT: usize = 9;
+
+    /// The 4-bit accelerator ID.
+    pub const fn id(self) -> u8 {
+        self as u8
+    }
+
+    /// Inverse of [`AccelKind::id`].
+    pub fn from_id(id: u8) -> Option<AccelKind> {
+        AccelKind::ALL.get(id as usize).copied()
+    }
+
+    /// Short display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AccelKind::Tcp => "TCP",
+            AccelKind::Encr => "Encr",
+            AccelKind::Decr => "Decr",
+            AccelKind::Rpc => "RPC",
+            AccelKind::Ser => "Ser",
+            AccelKind::Dser => "Dser",
+            AccelKind::Cmp => "Cmp",
+            AccelKind::Dcmp => "Dcmp",
+            AccelKind::Ldb => "LdB",
+        }
+    }
+
+    /// Whether this accelerator processes payload data. The load
+    /// balancer only picks a core (paper Fig 5 has no LdB bar).
+    pub fn processes_data(self) -> bool {
+        !matches!(self, AccelKind::Ldb)
+    }
+}
+
+impl fmt::Display for AccelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip() {
+        for kind in AccelKind::ALL {
+            assert_eq!(AccelKind::from_id(kind.id()), Some(kind));
+        }
+        assert_eq!(AccelKind::from_id(9), None);
+        assert_eq!(AccelKind::from_id(255), None);
+    }
+
+    #[test]
+    fn ids_fit_four_bits() {
+        for kind in AccelKind::ALL {
+            assert!(kind.id() < 16);
+        }
+        assert_eq!(AccelKind::ALL.len(), AccelKind::COUNT);
+    }
+
+    #[test]
+    fn only_ldb_skips_data() {
+        assert!(!AccelKind::Ldb.processes_data());
+        for kind in AccelKind::ALL {
+            if kind != AccelKind::Ldb {
+                assert!(kind.processes_data(), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(AccelKind::Tcp.to_string(), "TCP");
+        assert_eq!(AccelKind::Ldb.to_string(), "LdB");
+        assert_eq!(AccelKind::Dser.to_string(), "Dser");
+    }
+}

@@ -1,0 +1,446 @@
+//! The compact binary encoding of traces.
+//!
+//! The paper dedicates 4 bits per accelerator ID and caps simple traces
+//! at 8 bytes (16 nibbles); longer sequences are split into subtraces
+//! chained through the ATM. The paper does not specify the bit layout
+//! for branch/transform/tail fields, so this module defines one:
+//! a nibble stream where values 0–8 are accelerator IDs and values 9–15
+//! introduce structured records:
+//!
+//! | nibble | meaning | payload nibbles |
+//! |--------|---------|-----------------|
+//! | 0–8    | `Accel(kind)` | — |
+//! | 9      | `ToCpu` | — |
+//! | 10     | `Branch` | cond, true-target, false-target (slot indices) |
+//! | 11     | `Transform` | src format, dst format |
+//! | 12     | `NextTrace` | 4 nibbles of ATM address |
+//! | 13     | `Jump` | target (slot index) |
+//! | 14     | `ForkToCpu` | — |
+//! | 15     | padding / custom-cond extension |
+//!
+//! A `Custom` branch condition is encoded as cond nibble 5 followed by
+//! four extra nibbles (mask, expect). Branch/jump targets are *slot*
+//! indices, so they survive the round trip unchanged; traces with more
+//! than 15 addressable slots cannot be packed and must be split
+//! ([`split_for_packing`]).
+
+use crate::atm::AtmAddr;
+use crate::cond::BranchCond;
+use crate::format::{DataFormat, Transform};
+use crate::ir::{Slot, Trace};
+use crate::kind::AccelKind;
+
+/// Error produced when a trace cannot be packed or unpacked.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PackError {
+    /// A branch or jump target exceeds the 4-bit slot index space.
+    TargetTooLarge(u8),
+    /// The byte stream ended mid-record.
+    Truncated,
+    /// An undefined code appeared at this nibble offset.
+    BadCode(usize),
+    /// The decoded program failed validation (bad control-flow
+    /// targets).
+    InvalidProgram(String),
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::TargetTooLarge(t) => write!(f, "slot target {t} exceeds 4-bit index"),
+            PackError::Truncated => write!(f, "packed trace truncated"),
+            PackError::BadCode(at) => write!(f, "undefined code at nibble {at}"),
+            PackError::InvalidProgram(why) => write!(f, "decoded program invalid: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+struct NibbleWriter {
+    nibbles: Vec<u8>,
+}
+
+impl NibbleWriter {
+    fn new() -> Self {
+        NibbleWriter {
+            nibbles: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, n: u8) {
+        debug_assert!(n < 16);
+        self.nibbles.push(n);
+    }
+
+    fn push_u8(&mut self, v: u8) {
+        self.push(v >> 4);
+        self.push(v & 0xF);
+    }
+
+    fn push_u16(&mut self, v: u16) {
+        self.push_u8((v >> 8) as u8);
+        self.push_u8((v & 0xFF) as u8);
+    }
+
+    fn into_bytes(mut self) -> Vec<u8> {
+        if self.nibbles.len() % 2 == 1 {
+            self.nibbles.push(0xF); // padding
+        }
+        self.nibbles
+            .chunks(2)
+            .map(|pair| (pair[0] << 4) | pair[1])
+            .collect()
+    }
+}
+
+struct NibbleReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> NibbleReader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        NibbleReader { bytes, pos: 0 }
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let byte = self.bytes.get(self.pos / 2)?;
+        let n = if self.pos % 2 == 0 {
+            byte >> 4
+        } else {
+            byte & 0xF
+        };
+        self.pos += 1;
+        Some(n)
+    }
+
+    fn next_or(&mut self) -> Result<u8, PackError> {
+        self.next().ok_or(PackError::Truncated)
+    }
+
+    fn next_u8(&mut self) -> Result<u8, PackError> {
+        Ok((self.next_or()? << 4) | self.next_or()?)
+    }
+
+    fn next_u16(&mut self) -> Result<u16, PackError> {
+        Ok(((self.next_u8()? as u16) << 8) | self.next_u8()? as u16)
+    }
+
+    fn exhausted_or_padding(&mut self) -> bool {
+        match self.next() {
+            None => true,
+            Some(0xF) => self.exhausted_or_padding(),
+            Some(_) => false,
+        }
+    }
+}
+
+/// Packs a trace into its binary form.
+///
+/// # Errors
+///
+/// Fails with [`PackError::TargetTooLarge`] if any branch/jump target
+/// exceeds 15; split such traces first with [`split_for_packing`].
+///
+/// # Example
+///
+/// ```
+/// use accelflow_trace::ir::{Slot, Trace};
+/// use accelflow_trace::kind::AccelKind::*;
+/// use accelflow_trace::packed::{pack, unpack};
+///
+/// let t = Trace::new("t2", vec![
+///     Slot::Accel(Ser), Slot::Accel(Rpc), Slot::Accel(Encr), Slot::Accel(Tcp),
+///     Slot::ToCpu,
+/// ]);
+/// let bytes = pack(&t).unwrap();
+/// assert!(bytes.len() <= 8, "simple traces fit the paper's 8-byte budget");
+/// let back = unpack("t2", &bytes).unwrap();
+/// assert_eq!(back.slots(), t.slots());
+/// ```
+pub fn pack(trace: &Trace) -> Result<Vec<u8>, PackError> {
+    let mut w = NibbleWriter::new();
+    for slot in trace.slots() {
+        match slot {
+            Slot::Accel(kind) => w.push(kind.id()),
+            Slot::ToCpu => w.push(9),
+            Slot::Branch {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                if *on_true > 15 {
+                    return Err(PackError::TargetTooLarge(*on_true));
+                }
+                if *on_false > 15 {
+                    return Err(PackError::TargetTooLarge(*on_false));
+                }
+                w.push(10);
+                w.push(cond.code());
+                if let BranchCond::Custom { mask, expect } = cond {
+                    w.push_u8(*mask);
+                    w.push_u8(*expect);
+                }
+                w.push(*on_true);
+                w.push(*on_false);
+            }
+            Slot::Transform(t) => {
+                w.push(11);
+                w.push(t.src.code());
+                w.push(t.dst.code());
+            }
+            Slot::NextTrace(addr) => {
+                w.push(12);
+                w.push_u16(addr.0);
+            }
+            Slot::Jump(t) => {
+                if *t > 15 {
+                    return Err(PackError::TargetTooLarge(*t));
+                }
+                w.push(13);
+                w.push(*t);
+            }
+            Slot::ForkToCpu => w.push(14),
+        }
+    }
+    Ok(w.into_bytes())
+}
+
+/// Unpacks a binary trace produced by [`pack`].
+///
+/// # Errors
+///
+/// Fails if the stream is truncated or contains undefined codes.
+pub fn unpack(name: impl Into<String>, bytes: &[u8]) -> Result<Trace, PackError> {
+    let mut r = NibbleReader::new(bytes);
+    let mut slots = Vec::new();
+    loop {
+        let at = r.pos;
+        let code = match r.next() {
+            None => break,
+            Some(c) => c,
+        };
+        match code {
+            0..=8 => slots.push(Slot::Accel(
+                AccelKind::from_id(code).expect("codes 0-8 are kinds"),
+            )),
+            9 => slots.push(Slot::ToCpu),
+            10 => {
+                let cond_code = r.next_or()?;
+                let (mask, expect) = if cond_code == 5 {
+                    (r.next_u8()?, r.next_u8()?)
+                } else {
+                    (0, 0)
+                };
+                let cond =
+                    BranchCond::from_code(cond_code, mask, expect).ok_or(PackError::BadCode(at))?;
+                let on_true = r.next_or()?;
+                let on_false = r.next_or()?;
+                slots.push(Slot::Branch {
+                    cond,
+                    on_true,
+                    on_false,
+                });
+            }
+            11 => {
+                let src = DataFormat::from_code(r.next_or()?).ok_or(PackError::BadCode(at))?;
+                let dst = DataFormat::from_code(r.next_or()?).ok_or(PackError::BadCode(at))?;
+                slots.push(Slot::Transform(Transform { src, dst }));
+            }
+            12 => slots.push(Slot::NextTrace(AtmAddr(r.next_u16()?))),
+            13 => slots.push(Slot::Jump(r.next_or()?)),
+            14 => slots.push(Slot::ForkToCpu),
+            15 => {
+                // Padding: valid only as the trailing nibble(s).
+                if !r.exhausted_or_padding() {
+                    return Err(PackError::BadCode(at));
+                }
+                break;
+            }
+            _ => unreachable!("nibbles are < 16"),
+        }
+    }
+    Trace::try_new(name, slots).map_err(PackError::InvalidProgram)
+}
+
+/// Splits a trace whose slot count exceeds the packable window into a
+/// head trace plus a remainder, chaining head→remainder through the
+/// given ATM address (paper §IV-A: "If a sequence exceeds 8 bytes,
+/// AccelFlow would split it into multiple subtraces").
+///
+/// Only straight-line prefixes are split: the cut happens at the last
+/// `Accel` slot at or before `max_slots` that is not jumped over by a
+/// branch. Returns `None` if the trace already fits.
+pub fn split_for_packing(
+    trace: &Trace,
+    max_slots: usize,
+    chain_at: AtmAddr,
+) -> Option<(Trace, Trace)> {
+    if trace.slots().len() <= max_slots {
+        return None;
+    }
+    // Find a safe cut: the earliest branch/jump target must stay within
+    // the head, so cut before the first slot that is a target of any
+    // control transfer, or at max_slots - 1, whichever is earlier.
+    let first_target = trace
+        .slots()
+        .iter()
+        .flat_map(|s| match s {
+            Slot::Branch {
+                on_true, on_false, ..
+            } => vec![*on_true, *on_false],
+            Slot::Jump(t) => vec![*t],
+            _ => vec![],
+        })
+        .min()
+        .map(|t| t as usize)
+        .unwrap_or(usize::MAX);
+    let cut = (max_slots - 1).min(first_target.saturating_sub(1)).max(1);
+
+    let mut head: Vec<Slot> = trace.slots()[..cut].to_vec();
+    head.push(Slot::NextTrace(chain_at));
+    let tail: Vec<Slot> = trace.slots()[cut..]
+        .iter()
+        .map(|s| match s {
+            Slot::Branch {
+                cond,
+                on_true,
+                on_false,
+            } => Slot::Branch {
+                cond: *cond,
+                on_true: on_true - cut as u8,
+                on_false: on_false - cut as u8,
+            },
+            Slot::Jump(t) => Slot::Jump(t - cut as u8),
+            other => *other,
+        })
+        .collect();
+    Some((
+        Trace::new(format!("{}.head", trace.name()), head),
+        Trace::new(format!("{}.tail", trace.name()), tail),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cond::PayloadFlags;
+    use crate::ir::PathStep;
+
+    fn t1_like() -> Trace {
+        Trace::new(
+            "t1",
+            vec![
+                Slot::Accel(AccelKind::Tcp),
+                Slot::Accel(AccelKind::Decr),
+                Slot::Accel(AccelKind::Rpc),
+                Slot::Accel(AccelKind::Dser),
+                Slot::Branch {
+                    cond: BranchCond::Compressed,
+                    on_true: 5,
+                    on_false: 7,
+                },
+                Slot::Transform(Transform {
+                    src: DataFormat::Json,
+                    dst: DataFormat::Str,
+                }),
+                Slot::Accel(AccelKind::Dcmp),
+                Slot::Accel(AccelKind::Ldb),
+                Slot::ToCpu,
+            ],
+        )
+    }
+
+    #[test]
+    fn roundtrip_with_branch_and_transform() {
+        let t = t1_like();
+        let bytes = pack(&t).unwrap();
+        let back = unpack("t1", &bytes).unwrap();
+        assert_eq!(back.slots(), t.slots());
+    }
+
+    #[test]
+    fn simple_sequences_fit_eight_bytes() {
+        // Paper: 4 bits/accelerator, up to 16 invocations in 8 bytes.
+        let slots: Vec<Slot> = (0..15)
+            .map(|i| Slot::Accel(AccelKind::from_id(i % 9).unwrap()))
+            .chain([Slot::ToCpu])
+            .collect();
+        let t = Trace::new("long", slots);
+        let bytes = pack(&t).unwrap();
+        assert_eq!(bytes.len(), 8);
+    }
+
+    #[test]
+    fn roundtrip_all_slot_kinds() {
+        let t = Trace::new(
+            "all",
+            vec![
+                Slot::Accel(AccelKind::Dser),
+                Slot::Branch {
+                    cond: BranchCond::Custom {
+                        mask: 0x0F,
+                        expect: 0x03,
+                    },
+                    on_true: 2,
+                    on_false: 4,
+                },
+                Slot::Accel(AccelKind::Cmp),
+                Slot::Jump(5),
+                Slot::ForkToCpu,
+                Slot::NextTrace(AtmAddr(0xBEEF)),
+            ],
+        );
+        let bytes = pack(&t).unwrap();
+        let back = unpack("all", &bytes).unwrap();
+        assert_eq!(back.slots(), t.slots());
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let t = t1_like();
+        let bytes = pack(&t).unwrap();
+        // Cut inside the branch record (nibbles 4..8 hold the branch).
+        assert_eq!(unpack("x", &bytes[..3]).unwrap_err(), PackError::Truncated);
+    }
+
+    #[test]
+    fn oversized_targets_rejected() {
+        let mut slots = vec![Slot::Accel(AccelKind::Tcp); 17];
+        slots.push(Slot::Branch {
+            cond: BranchCond::Hit,
+            on_true: 18,
+            on_false: 19,
+        });
+        slots.push(Slot::ToCpu);
+        slots.push(Slot::ToCpu);
+        let t = Trace::new("big", slots);
+        assert!(matches!(pack(&t), Err(PackError::TargetTooLarge(_))));
+    }
+
+    #[test]
+    fn split_preserves_execution_path() {
+        let slots: Vec<Slot> = (0..20)
+            .map(|i| Slot::Accel(AccelKind::from_id(i % 9).unwrap()))
+            .chain([Slot::ToCpu])
+            .collect();
+        let t = Trace::new("long", slots);
+        let (head, tail) = split_for_packing(&t, 15, AtmAddr(7)).unwrap();
+        assert!(pack(&head).is_ok());
+        assert!(pack(&tail).is_ok());
+
+        // Head path + tail path must equal the original path with the
+        // chain marker in between.
+        let flags = PayloadFlags::default();
+        let mut joined = head.resolve_path(&flags);
+        assert_eq!(joined.pop(), Some(PathStep::Chain(AtmAddr(7))));
+        joined.extend(tail.resolve_path(&flags));
+        assert_eq!(joined, t.resolve_path(&flags));
+    }
+
+    #[test]
+    fn split_not_needed_for_short_traces() {
+        assert!(split_for_packing(&t1_like(), 15, AtmAddr(0)).is_none());
+    }
+}

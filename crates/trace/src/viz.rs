@@ -1,0 +1,169 @@
+//! Text rendering of traces — the reproduction's stand-in for the
+//! paper's Figures 2, 4, and 7.
+//!
+//! [`render`] lays a trace out as an indented flow diagram: accelerator
+//! boxes in sequence, branch conditions with their two arms, data
+//! transformations, and trace tails (CPU notification or ATM chain,
+//! the paper's asterisk).
+
+use std::fmt::Write as _;
+
+use crate::ir::{Slot, Trace};
+
+/// Renders a trace as an indented ASCII flow diagram.
+///
+/// # Example
+///
+/// ```
+/// use accelflow_trace::templates::{TemplateId, TraceLibrary};
+/// use accelflow_trace::viz::render;
+///
+/// let lib = TraceLibrary::standard();
+/// let art = render(lib.entry(TemplateId::T1));
+/// assert!(art.contains("[TCP]"));
+/// assert!(art.contains("Compressed?"));
+/// ```
+pub fn render(trace: &Trace) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}:", trace.name());
+    render_range(&mut out, trace.slots(), 0, trace.slots().len(), 1);
+    out
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Renders slots `[from, to)` at the given indent depth, following the
+/// structured layout the builder produces (branch arm(s) followed by
+/// an optional join jump).
+fn render_range(out: &mut String, slots: &[Slot], from: usize, to: usize, depth: usize) {
+    let mut i = from;
+    while i < to {
+        match &slots[i] {
+            Slot::Accel(kind) => {
+                indent(out, depth);
+                let _ = writeln!(out, "[{kind}]");
+                i += 1;
+            }
+            Slot::Transform(t) => {
+                indent(out, depth);
+                let _ = writeln!(out, "(transform {t})");
+                i += 1;
+            }
+            Slot::ForkToCpu => {
+                indent(out, depth);
+                let _ = writeln!(out, "=> copy to CPU (continue)");
+                i += 1;
+            }
+            Slot::ToCpu => {
+                indent(out, depth);
+                let _ = writeln!(out, "=> CPU");
+                i += 1;
+            }
+            Slot::NextTrace(addr) => {
+                indent(out, depth);
+                let _ = writeln!(out, "=> * next trace @ {addr}");
+                i += 1;
+            }
+            Slot::Jump(t) => {
+                // Join jumps are layout artifacts; skip to the target.
+                i = *t as usize;
+            }
+            Slot::Branch {
+                cond,
+                on_true,
+                on_false,
+            } => {
+                indent(out, depth);
+                let _ = writeln!(out, "if {cond}");
+                let (t0, f0) = (*on_true as usize, *on_false as usize);
+                // The true arm spans [t0, end_of_true) where the arm
+                // either ends at a terminal or at the jump before f0.
+                let true_end = f0.min(to);
+                indent(out, depth);
+                let _ = writeln!(out, "then:");
+                render_range(out, slots, t0, true_end, depth + 1);
+                // The false arm runs until the join (the true arm's
+                // jump target) or the end.
+                let join = join_of(slots, t0, true_end).unwrap_or(to);
+                if f0 < join {
+                    indent(out, depth);
+                    let _ = writeln!(out, "else:");
+                    render_range(out, slots, f0, join.min(to), depth + 1);
+                }
+                i = join.min(to);
+            }
+        }
+    }
+}
+
+/// Finds where a branch's arms rejoin: the target of the last `Jump`
+/// inside the true arm, if any.
+fn join_of(slots: &[Slot], from: usize, to: usize) -> Option<usize> {
+    slots[from..to.min(slots.len())]
+        .iter()
+        .rev()
+        .find_map(|s| match s {
+            Slot::Jump(t) => Some(*t as usize),
+            _ => None,
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::{TemplateId, TraceLibrary};
+
+    #[test]
+    fn renders_every_template() {
+        let lib = TraceLibrary::standard();
+        for id in TemplateId::ALL {
+            let art = render(lib.entry(id));
+            assert!(art.starts_with(&format!("{}:", id.name())), "{id}");
+            assert!(art.contains("=>"), "{id}: must show a terminal\n{art}");
+        }
+    }
+
+    #[test]
+    fn t1_shows_branch_structure() {
+        let lib = TraceLibrary::standard();
+        let art = render(lib.entry(TemplateId::T1));
+        assert!(art.contains("if Compressed?"), "{art}");
+        assert!(art.contains("then:"), "{art}");
+        assert!(art.contains("(transform JSON→string)"), "{art}");
+        assert!(art.contains("[Dcmp]"), "{art}");
+        // LdB appears after the branch (the rejoined path).
+        let ldb = art.find("[LdB]").unwrap();
+        let dcmp = art.find("[Dcmp]").unwrap();
+        assert!(ldb > dcmp);
+    }
+
+    #[test]
+    fn t4_shows_atm_tail() {
+        let lib = TraceLibrary::standard();
+        let art = render(lib.entry(TemplateId::T4));
+        assert!(art.contains("* next trace @"), "{art}");
+    }
+
+    #[test]
+    fn t5_shows_divergent_arms() {
+        let lib = TraceLibrary::standard();
+        let art = render(lib.entry(TemplateId::T5));
+        assert!(art.contains("if Hit?"), "{art}");
+        assert!(art.contains("else:"), "{art}");
+        assert!(art.contains("=> CPU"), "{art}");
+        assert!(art.contains("* next trace"), "{art}");
+    }
+
+    #[test]
+    fn t6_shows_fork() {
+        let lib = TraceLibrary::standard();
+        let art = render(lib.entry(TemplateId::T6));
+        assert!(art.contains("copy to CPU"), "{art}");
+        assert!(art.contains("if Found?"), "{art}");
+        assert!(art.contains("if C-Compressed?"), "{art}");
+    }
+}

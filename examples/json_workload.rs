@@ -1,0 +1,74 @@
+//! Driving the simulator from a JSON workload file: define a service
+//! mix without writing Rust, load it, and compare orchestrators on it.
+//!
+//! Run with: `cargo run --release --example json_workload`
+
+use accelflow::core::{Machine, MachineConfig, Policy};
+use accelflow::sim::SimDuration;
+use accelflow::workloads::config;
+
+const WORKLOAD: &str = r#"[
+  {
+    "name": "Checkout",
+    "stages": [
+      { "call": { "template": "T1" } },
+      { "cpu": { "median_cycles": 60000, "sigma": 0.3 } },
+      { "call": { "template": "T4",
+                  "flags": { "compressed": 0.2, "hit": 0.7, "found": 0.99,
+                             "exception": 0.01, "cache_compressed": 0.2 } } },
+      { "cpu": { "median_cycles": 40000, "sigma": 0.3 } },
+      { "parallel": [
+          { "call": { "template": "T9", "cmp_prob": 0.5 } },
+          { "call": { "template": "T9" } }
+      ] },
+      { "call": { "template": "T3" } }
+    ]
+  },
+  {
+    "name": "Inventory",
+    "stages": [
+      { "call": { "template": "T1",
+                  "payload": { "median": 900, "sigma": 0.5, "max": 8192 } } },
+      { "cpu": { "median_cycles": 25000, "sigma": 0.2 } },
+      { "call": { "template": "T2" } }
+    ]
+  }
+]"#;
+
+fn main() {
+    let services = config::load_services(WORKLOAD).expect("workload config parses");
+    println!(
+        "loaded {} services: {}\n",
+        services.len(),
+        services
+            .iter()
+            .map(|s| s.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    println!(
+        "{:<12} {:>14} {:>14}",
+        "architecture", "Checkout p99", "Inventory p99"
+    );
+    for policy in [Policy::AccelFlow, Policy::Relief, Policy::NonAcc] {
+        let mut cfg = MachineConfig::new(policy);
+        cfg.warmup = SimDuration::from_millis(5);
+        let report =
+            Machine::run_workload(&cfg, &services, 12_000.0, SimDuration::from_millis(60), 21);
+        println!(
+            "{:<12} {:>14} {:>14}",
+            policy.name(),
+            report.per_service[0].p99().to_string(),
+            report.per_service[1].p99().to_string(),
+        );
+    }
+
+    // Round-trip: export the built-in SocialNetwork mix as JSON.
+    let exported = config::save_services(&accelflow::workloads::socialnetwork::all());
+    println!(
+        "\nexported built-in SocialNetwork mix: {} bytes of JSON",
+        exported.len()
+    );
+    assert!(config::load_services(&exported).is_ok());
+}

@@ -1,0 +1,71 @@
+//! Quickstart: build a trace with the paper's API, inspect it, and
+//! simulate a small microservice under AccelFlow.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use accelflow::core::{Machine, MachineConfig, Policy};
+use accelflow::sim::SimDuration;
+use accelflow::trace::builder::TraceBuilder;
+use accelflow::trace::cond::{BranchCond, PayloadFlags};
+use accelflow::trace::format::DataFormat;
+use accelflow::trace::kind::AccelKind::*;
+use accelflow::trace::packed;
+use accelflow::workloads::socialnetwork;
+
+fn main() {
+    // 1. Build Fig 4a's trace (receive a function request) with the
+    //    paper's seq/branch/trans API — Listing 1.
+    let trace = TraceBuilder::new("func_req")
+        .seq([Tcp, Decr, Rpc, Dser])
+        .branch(
+            BranchCond::Compressed,
+            |b| b.trans(DataFormat::Json, DataFormat::Str).seq([Dcmp]),
+            |b| b,
+        )
+        .seq([Ldb])
+        .to_cpu()
+        .build();
+
+    println!("trace '{}':", trace.name());
+    println!(
+        "  {} accelerator slots, {} branch(es)",
+        trace.accelerator_count(),
+        trace.branch_count()
+    );
+
+    // 2. Pack it into its binary form (4-bit accelerator IDs).
+    let bytes = packed::pack(&trace).expect("trace packs");
+    println!("  packed: {} bytes: {:02x?}", bytes.len(), bytes);
+
+    // 3. Resolve both control-flow paths.
+    for (name, flags) in [
+        ("uncompressed", PayloadFlags::default()),
+        (
+            "compressed",
+            PayloadFlags {
+                compressed: true,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let path: Vec<String> = trace
+            .resolve_path(&flags)
+            .iter()
+            .map(|s| format!("{s:?}"))
+            .collect();
+        println!("  {name}: {}", path.join(" -> "));
+    }
+
+    // 4. Simulate the UniqId service under the AccelFlow orchestrator.
+    let services = vec![socialnetwork::uniq_id()];
+    let mut cfg = MachineConfig::new(Policy::AccelFlow);
+    cfg.warmup = SimDuration::from_millis(2);
+    let report = Machine::run_workload(&cfg, &services, 2_000.0, SimDuration::from_millis(50), 7);
+    let stats = &report.per_service[0];
+    println!(
+        "\nUniqId @2k RPS under AccelFlow: {} completed, mean {}, p99 {}",
+        stats.completed,
+        stats.mean(),
+        stats.p99(),
+    );
+}

@@ -1,0 +1,47 @@
+//! Soft-SLO deadline scheduling (paper §IV-C): compare FIFO input
+//! dispatchers against the deadline-aware policy when a latency-
+//! critical service shares the ensemble with heavy background traffic.
+//!
+//! Run with: `cargo run --release --example slo_scheduling`
+
+use accelflow::core::{Machine, MachineConfig, Policy};
+use accelflow::sim::SimDuration;
+use accelflow::workloads::socialnetwork;
+
+fn main() {
+    // UniqId carries a 5x-unloaded soft SLO; CPost is the heavy
+    // background service filling the accelerator queues.
+    let mut services = vec![socialnetwork::uniq_id(), socialnetwork::compose_post()];
+    services[0].slo_slack = Some(5.0);
+
+    println!(
+        "{:<14} {:>12} {:>12} {:>14} {:>10}",
+        "dispatcher", "UniqId mean", "UniqId p99", "deadline miss", "CPost p99"
+    );
+    for policy in [Policy::AccelFlow, Policy::AccelFlowDeadline] {
+        let mut cfg = MachineConfig::new(policy);
+        cfg.warmup = SimDuration::from_millis(5);
+        // A lean ensemble (2 PEs per accelerator) makes the input
+        // queues actually build, giving the scheduler room to reorder.
+        cfg.arch.pes_per_accelerator = 2;
+        let report =
+            Machine::run_workload(&cfg, &services, 30_000.0, SimDuration::from_millis(80), 3);
+        let uniq = &report.per_service[0];
+        let cpost = &report.per_service[1];
+        let miss = uniq.deadline_misses as f64 / uniq.completed.max(1) as f64;
+        println!(
+            "{:<14} {:>12} {:>12} {:>13.2}% {:>10}",
+            match policy {
+                Policy::AccelFlowDeadline => "deadline-aware",
+                _ => "FIFO",
+            },
+            uniq.mean().to_string(),
+            uniq.p99().to_string(),
+            miss * 100.0,
+            cpost.p99().to_string(),
+        );
+    }
+    println!("\nThe deadline-aware input dispatcher lets urgent entries jump the");
+    println!("queue when their slack runs out (§IV-C), trading background-service");
+    println!("latency for SLO compliance.");
+}

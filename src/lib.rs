@@ -1,0 +1,50 @@
+//! # AccelFlow
+//!
+//! A production-quality Rust reproduction of **"AccelFlow: Orchestrating
+//! an On-Package Ensemble of Fine-Grained Accelerators for
+//! Microservices"** (HPCA 2026).
+//!
+//! Microservices spend most of their cycles on *datacenter tax* — TCP,
+//! (de)encryption, RPC framing, (de)serialization, (de)compression, and
+//! load balancing. The paper proposes integrating nine tax accelerators
+//! on-package and orchestrating them with **traces**: core-built
+//! sequences of accelerator IDs, with embedded branch conditions and
+//! data-format transformations, that execute accelerator-to-accelerator
+//! without CPU or centralized-manager involvement.
+//!
+//! This crate re-exports the whole reproduction:
+//!
+//! - [`sim`] — deterministic discrete-event simulation kernel.
+//! - [`arch`] — hardware substrate: chiplet topology, interconnect,
+//!   A-DMA engines, TLB/IOMMU, caches, memory bandwidth, energy.
+//! - [`trace`] — the trace programming model (`seq`/`branch`/`trans`),
+//!   packed 8-byte encodings, the ATM, and the paper's T1–T12 templates.
+//! - [`accel`] — the nine accelerator models (queues, PEs, dispatchers).
+//! - [`core`] — the machine model and the orchestration policies:
+//!   Non-acc, CPU-Centric, RELIEF, Cohort, AccelFlow (+ablations), Ideal.
+//! - [`workloads`] — DeathStarBench-like services, Alibaba-like arrival
+//!   traces, serverless functions, and the RELIEF coarse-grain suite.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use accelflow::core::{Machine, MachineConfig, Policy};
+//! use accelflow::workloads::socialnetwork;
+//! use accelflow::sim::SimDuration;
+//!
+//! // Simulate the UniqId service under the AccelFlow orchestrator.
+//! let services = vec![socialnetwork::uniq_id()];
+//! let mut cfg = MachineConfig::new(Policy::AccelFlow);
+//! cfg.warmup = SimDuration::from_millis(1);
+//! let report = Machine::run_workload(&cfg, &services, 2_000.0, SimDuration::from_millis(40), 7);
+//! let stats = &report.per_service[0];
+//! assert!(stats.latency.count() > 0);
+//! println!("UniqId p99 = {}", stats.latency.percentile_duration(99.0));
+//! ```
+
+pub use accelflow_accel as accel;
+pub use accelflow_arch as arch;
+pub use accelflow_core as core;
+pub use accelflow_sim as sim;
+pub use accelflow_trace as trace;
+pub use accelflow_workloads as workloads;

@@ -1,0 +1,287 @@
+//! Property-based tests over the core data structures and invariants.
+
+use std::collections::HashSet;
+
+use accelflow::sim::stats::Histogram;
+use accelflow::sim::time::{Frequency, SimDuration, SimTime};
+use accelflow::trace::atm::AtmAddr;
+use accelflow::trace::builder::TraceBuilder;
+use accelflow::trace::cond::{BranchCond, PayloadFlags};
+use accelflow::trace::format::DataFormat;
+use accelflow::trace::ir::{PathStep, Slot, Trace};
+use accelflow::trace::kind::AccelKind;
+use accelflow::trace::packed;
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = AccelKind> {
+    (0u8..9).prop_map(|id| AccelKind::from_id(id).unwrap())
+}
+
+fn arb_cond() -> impl Strategy<Value = BranchCond> {
+    prop_oneof![
+        Just(BranchCond::Compressed),
+        Just(BranchCond::Hit),
+        Just(BranchCond::Found),
+        Just(BranchCond::Exception),
+        Just(BranchCond::CacheCompressed),
+        (any::<u8>(), any::<u8>()).prop_map(|(mask, expect)| BranchCond::Custom {
+            mask,
+            expect: expect & mask,
+        }),
+    ]
+}
+
+fn arb_format() -> impl Strategy<Value = DataFormat> {
+    (0u8..5).prop_map(|c| DataFormat::from_code(c).unwrap())
+}
+
+fn arb_flags() -> impl Strategy<Value = PayloadFlags> {
+    (any::<u8>(), any::<u8>()).prop_map(|(bits, custom)| PayloadFlags {
+        compressed: bits & 1 != 0,
+        hit: bits & 2 != 0,
+        found: bits & 4 != 0,
+        exception: bits & 8 != 0,
+        cache_compressed: bits & 16 != 0,
+        custom_field: custom,
+    })
+}
+
+/// Builds a random but *valid* trace through the builder API: random
+/// sequences, an optional branch with random arms, random transforms.
+fn arb_trace() -> impl Strategy<Value = Trace> {
+    (
+        proptest::collection::vec(arb_kind(), 1..5),
+        proptest::option::of((
+            arb_cond(),
+            proptest::collection::vec(arb_kind(), 0..3),
+            proptest::collection::vec(arb_kind(), 0..3),
+        )),
+        proptest::collection::vec(arb_kind(), 0..4),
+        proptest::option::of((arb_format(), arb_format())),
+        prop_oneof![Just(0u8), Just(1u8), Just(2u8)],
+        0u16..64,
+    )
+        .prop_map(|(pre, branch, post, trans, terminal, atm)| {
+            let mut b = TraceBuilder::new("prop").seq(pre);
+            if let Some((cond, t_arm, f_arm)) = branch {
+                b = b.branch(cond, move |bb| bb.seq(t_arm), move |bb| bb.seq(f_arm));
+            }
+            if let Some((src, dst)) = trans {
+                b = b.trans(src, dst);
+            }
+            b = b.seq(post);
+            match terminal {
+                0 => b.to_cpu().build(),
+                1 => b.next_trace(AtmAddr(atm)).build(),
+                _ => b.build(), // implicit ToCpu at end
+            }
+        })
+}
+
+proptest! {
+    /// Packed encoding round-trips every builder-constructed trace.
+    #[test]
+    fn packed_roundtrip(trace in arb_trace()) {
+        let bytes = packed::pack(&trace).expect("builder traces pack");
+        let back = packed::unpack(trace.name(), &bytes).expect("unpack");
+        prop_assert_eq!(back.slots(), trace.slots());
+    }
+
+    /// Every flag assignment resolves to a terminating path whose
+    /// accelerator count is bounded by the static count.
+    #[test]
+    fn all_paths_terminate(trace in arb_trace(), flags in arb_flags()) {
+        let path = trace.resolve_path(&flags);
+        let accels = path.iter().filter(|s| matches!(s, PathStep::Accel(_))).count();
+        prop_assert!(accels <= trace.accelerator_count());
+        // The path ends at the CPU or chains to the ATM.
+        prop_assert!(matches!(path.last(), Some(PathStep::Cpu) | Some(PathStep::Chain(_))));
+    }
+
+    /// `all_paths` covers every path `resolve_path` can produce.
+    #[test]
+    fn all_paths_is_exhaustive(trace in arb_trace(), flags in arb_flags()) {
+        // Custom conditions depend on custom_field, which all_paths
+        // fixes at zero, so restrict to traces without custom conds.
+        let has_custom = trace.slots().iter().any(|s| matches!(
+            s, Slot::Branch { cond: BranchCond::Custom { .. }, .. }
+        ));
+        prop_assume!(!has_custom);
+        let flags = PayloadFlags { custom_field: 0, ..flags };
+        let path = trace.resolve_path(&flags);
+        prop_assert!(trace.all_paths().contains(&path));
+    }
+
+    /// Histogram percentiles are monotone and bracketed by min/max.
+    #[test]
+    fn histogram_percentiles_monotone(values in proptest::collection::vec(0u64..1_000_000_000, 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut last = 0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+        let lo = *values.iter().min().unwrap();
+        let hi = *values.iter().max().unwrap();
+        prop_assert!(h.percentile(0.0) >= lo);
+        prop_assert!(h.percentile(100.0) <= hi.max(lo));
+    }
+
+    /// Histogram count/mean are exact regardless of bucketing.
+    #[test]
+    fn histogram_count_and_mean_exact(values in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        let exact = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        prop_assert!((h.mean() - exact).abs() < 1e-6);
+    }
+
+    /// Time arithmetic: (t + a) + b == (t + b) + a and subtraction
+    /// inverts addition.
+    #[test]
+    fn time_arithmetic_laws(t in 0u64..1u64 << 50, a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+        let t0 = SimTime::from_picos(t);
+        let da = SimDuration::from_picos(a);
+        let db = SimDuration::from_picos(b);
+        prop_assert_eq!((t0 + da) + db, (t0 + db) + da);
+        prop_assert_eq!((t0 + da) - t0, da);
+        prop_assert_eq!(da + db - db, da);
+    }
+
+    /// Cycle conversions are consistent across frequencies.
+    #[test]
+    fn frequency_conversion_consistency(cycles in 1.0f64..1e9, ghz in 0.5f64..6.0) {
+        let f = Frequency::from_ghz(ghz);
+        let d = f.cycles(cycles);
+        let back = f.cycles_in(d);
+        prop_assert!((back - cycles).abs() / cycles < 1e-6);
+    }
+
+    /// Branch conditions partition: for any flags, exactly one arm of
+    /// a branch is taken, and the packed trace resolves identically.
+    #[test]
+    fn packed_trace_resolves_identically(trace in arb_trace(), flags in arb_flags()) {
+        let bytes = packed::pack(&trace).expect("packs");
+        let back = packed::unpack(trace.name(), &bytes).expect("unpacks");
+        prop_assert_eq!(back.resolve_path(&flags), trace.resolve_path(&flags));
+    }
+
+    /// Accelerator IDs pack into 4 bits and are unique.
+    #[test]
+    fn accelerator_ids_unique(_x in 0u8..1) {
+        let ids: HashSet<u8> = AccelKind::ALL.iter().map(|k| k.id()).collect();
+        prop_assert_eq!(ids.len(), AccelKind::COUNT);
+        prop_assert!(ids.iter().all(|&i| i < 16));
+    }
+}
+
+mod workload_properties {
+    use super::*;
+    use accelflow::accel::timing::ServiceTimeModel;
+    use accelflow::core::request::{sample_call, CallSpec, SegmentEnd};
+    use accelflow::sim::rng::SimRng;
+    use accelflow::trace::templates::{TemplateId, TraceLibrary};
+
+    fn arb_template() -> impl Strategy<Value = TemplateId> {
+        (0usize..12).prop_map(|i| TemplateId::ALL[i])
+    }
+
+    proptest! {
+        /// Sampled calls are well-formed for every template, payload
+        /// scale, and flag mix: payload sizes chain hop to hop, glue
+        /// costs respect the dispatcher floor, and only the final
+        /// segment lacks a successor.
+        #[test]
+        fn sampled_calls_are_well_formed(
+            template in arb_template(),
+            median in 128.0f64..16_384.0,
+            compressed in 0.0f64..1.0,
+            hit in 0.0f64..1.0,
+            seed in 0u64..5_000,
+        ) {
+            let lib = TraceLibrary::standard();
+            let timing = ServiceTimeModel::calibrated(Frequency::from_ghz(2.4));
+            let mut rng = SimRng::seed(seed);
+            let mut spec = CallSpec::new(template);
+            spec.payload = accelflow::core::request::SizeDist::new(median, 0.6, 1 << 20);
+            spec.flags.compressed = compressed;
+            spec.flags.hit = hit;
+            let call = sample_call(&lib, &timing, &mut rng, &spec, 0x4200_0000);
+
+            prop_assert!(!call.segments.is_empty());
+            for (si, seg) in call.segments.iter().enumerate() {
+                prop_assert!(!seg.hops.is_empty(), "{template} segment {si} empty");
+                for w in seg.hops.windows(2) {
+                    prop_assert_eq!(w[0].out_bytes, w[1].in_bytes, "sizes must chain");
+                }
+                for hop in &seg.hops {
+                    prop_assert!(hop.glue_instrs >= 15, "dispatcher floor");
+                    prop_assert!(hop.in_bytes >= 1);
+                }
+                let last = si + 1 == call.segments.len();
+                match seg.end {
+                    SegmentEnd::ToCpu => prop_assert!(last, "ToCpu must be final"),
+                    SegmentEnd::Continue | SegmentEnd::AwaitResponse { .. } => {
+                        prop_assert!(!last, "chain needs a successor")
+                    }
+                }
+            }
+        }
+
+        /// Trace synthesis round-trips randomly generated observation
+        /// sets whose divergences are flag-separable.
+        #[test]
+        fn compiler_reproduces_observations(
+            common_len in 1usize..4,
+            extra in proptest::collection::vec(arb_kind(), 1..3),
+        ) {
+            use accelflow::trace::compiler::{synthesize, ObservedPath};
+            let common: Vec<AccelKind> =
+                (0..common_len).map(|i| AccelKind::ALL[i % 9]).collect();
+            let short = PayloadFlags::default();
+            let long = PayloadFlags { compressed: true, ..Default::default() };
+            let mut long_path = common.clone();
+            long_path.extend(extra.iter().copied());
+            let trace = synthesize(
+                "prop",
+                &[
+                    ObservedPath::new(short, common.clone()),
+                    ObservedPath::new(long, long_path.clone()),
+                ],
+            )
+            .unwrap();
+            let count = |flags: &PayloadFlags| {
+                trace
+                    .resolve_path(flags)
+                    .iter()
+                    .filter(|s| matches!(s, PathStep::Accel(_)))
+                    .count()
+            };
+            prop_assert_eq!(count(&short), common.len());
+            prop_assert_eq!(count(&long), long_path.len());
+        }
+    }
+}
+
+proptest! {
+    /// Decoding arbitrary bytes never panics: it yields a valid trace
+    /// or a structured error (untrusted-input safety).
+    #[test]
+    fn unpack_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        match packed::unpack("fuzz", &bytes) {
+            Ok(trace) => {
+                // Whatever decoded must itself be valid and re-packable.
+                prop_assert!(trace.validate().is_ok());
+                prop_assert!(packed::pack(&trace).is_ok());
+            }
+            Err(_) => {}
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! End-to-end tests of the public trace programming model: build
+//! custom traces with the paper's API, register them as workloads, and
+//! execute them on the machine.
+
+use accelflow::core::{
+    CallSpec, CyclesDist, Machine, MachineConfig, Policy, ServiceSpec, StageSpec,
+};
+use accelflow::sim::SimDuration;
+use accelflow::trace::builder::TraceBuilder;
+use accelflow::trace::cond::BranchCond;
+use accelflow::trace::format::DataFormat;
+use accelflow::trace::kind::AccelKind::*;
+use accelflow::trace::templates::{TemplateId, TraceLibrary};
+
+#[test]
+fn custom_trace_runs_end_to_end() {
+    // A bespoke pipeline: decompress, deserialize, re-serialize
+    // (densified), compress, with a conditional re-encode.
+    let trace = TraceBuilder::new("etl")
+        .seq([Dcmp, Dser])
+        .branch(
+            BranchCond::CacheCompressed,
+            |b| b.trans(DataFormat::Json, DataFormat::Bson).seq([Ser, Cmp]),
+            |b| b.seq([Ser]),
+        )
+        .to_cpu()
+        .build();
+    assert!(trace.validate().is_ok());
+
+    let svc = ServiceSpec::new(
+        "Etl",
+        vec![
+            StageSpec::Cpu(CyclesDist::new(20_000.0, 0.2)),
+            StageSpec::Call(CallSpec::custom(trace)),
+        ],
+    );
+    let mut cfg = MachineConfig::new(Policy::AccelFlow);
+    cfg.warmup = SimDuration::from_millis(1);
+    let report = Machine::run_workload(&cfg, &[svc], 1_000.0, SimDuration::from_millis(25), 3);
+    assert!(report.completion_ratio() > 0.99);
+    assert!(report.per_service[0].latency.count() > 10);
+    // The branch resolves in the dispatcher: glue instructions counted.
+    assert!(report.totals.dispatcher_instrs > 0);
+}
+
+#[test]
+fn run_trace_style_invocation_with_fallback() {
+    // Listing 2's shape: invoke a registered trace per request; when
+    // the ensemble is overloaded, execution falls back to the CPU and
+    // the request still completes.
+    let svc = ServiceSpec::new(
+        "FallbackProne",
+        vec![StageSpec::Call(CallSpec::new(TemplateId::T1))],
+    );
+    let mut cfg = MachineConfig::new(Policy::AccelFlow);
+    cfg.warmup = SimDuration::from_millis(1);
+    // Starve the ensemble: one PE, tiny queues, minuscule overflow,
+    // and accelerators slowed 50x so the queues actually build.
+    cfg.arch.pes_per_accelerator = 1;
+    cfg.arch.input_queue_entries = 2;
+    cfg.arch.overflow_entries = 2;
+    cfg.speedup_scale = 0.02;
+    let report = Machine::run_workload(&cfg, &[svc], 30_000.0, SimDuration::from_millis(20), 9);
+    assert!(
+        report.totals.fallbacks > 0 || report.totals.overflows > 0,
+        "a starved ensemble must overflow or fall back"
+    );
+    assert!(
+        report.completion_ratio() > 0.9,
+        "fallback keeps requests completing: {}",
+        report.completion_ratio()
+    );
+}
+
+#[test]
+fn template_library_round_trips_through_machine() {
+    // Every template is executable as a single-call service.
+    let lib = TraceLibrary::standard();
+    for id in [
+        TemplateId::T1,
+        TemplateId::T2,
+        TemplateId::T4,
+        TemplateId::T8,
+        TemplateId::T9,
+        TemplateId::T11,
+    ] {
+        let svc = ServiceSpec::new(id.name(), vec![StageSpec::Call(CallSpec::new(id))]);
+        let mut cfg = MachineConfig::new(Policy::AccelFlow);
+        cfg.warmup = SimDuration::from_millis(1);
+        let report = Machine::run_workload(&cfg, &[svc], 500.0, SimDuration::from_millis(20), 4);
+        assert!(
+            report.completion_ratio() > 0.99,
+            "{id}: completion {}",
+            report.completion_ratio()
+        );
+    }
+    let _ = lib;
+}
+
+#[test]
+fn error_paths_are_reported() {
+    // Force exceptions on a write-heavy service: the §IV-B error trace
+    // runs and the request completes as an error.
+    let mut call = CallSpec::new(TemplateId::T8);
+    call.flags.exception = 1.0;
+    let svc = ServiceSpec::new("AlwaysError", vec![StageSpec::Call(call)]);
+    let mut cfg = MachineConfig::new(Policy::AccelFlow);
+    cfg.warmup = SimDuration::from_millis(1);
+    let report = Machine::run_workload(&cfg, &[svc], 500.0, SimDuration::from_millis(20), 4);
+    let s = &report.per_service[0];
+    assert!(s.completed > 0);
+    assert_eq!(s.errors, s.completed, "every request takes the error path");
+}
+
+#[test]
+fn tcp_timeouts_fire_for_lost_responses() {
+    // An external delay beyond the TCP timeout terminates the request
+    // (§IV-B: entries "are not held indefinitely waiting").
+    let mut call = CallSpec::new(TemplateId::T4);
+    call.external.median = SimDuration::from_millis(80);
+    call.external.sigma = 0.01;
+    let svc = ServiceSpec::new("SlowDb", vec![StageSpec::Call(call)]);
+    let mut cfg = MachineConfig::new(Policy::AccelFlow);
+    cfg.warmup = SimDuration::from_millis(1);
+    cfg.tcp_timeout = SimDuration::from_millis(5);
+    let report = Machine::run_workload(&cfg, &[svc], 200.0, SimDuration::from_millis(30), 4);
+    assert!(
+        report.totals.tcp_timeouts > 0,
+        "slow responses must time out"
+    );
+    let s = &report.per_service[0];
+    assert!(s.errors > 0, "timed-out requests are errors");
+    // Latency capped near the timeout.
+    assert!(s.p99() < SimDuration::from_millis(8), "p99 {}", s.p99());
+}
+
+#[test]
+fn multi_tenant_isolation_costs_are_visible() {
+    use accelflow::accel::queue::TenantId;
+    // Two tenants sharing the ensemble force scratchpad wipes (§IV-D).
+    let mut a = ServiceSpec::new(
+        "TenantA",
+        vec![StageSpec::Call(CallSpec::new(TemplateId::T1))],
+    );
+    a.tenant = TenantId(1);
+    let mut b = ServiceSpec::new(
+        "TenantB",
+        vec![StageSpec::Call(CallSpec::new(TemplateId::T1))],
+    );
+    b.tenant = TenantId(2);
+    let mut cfg = MachineConfig::new(Policy::AccelFlow);
+    cfg.warmup = SimDuration::from_millis(1);
+    cfg.arch.pes_per_accelerator = 2; // force PE sharing across tenants
+    let report = Machine::run_workload(&cfg, &[a, b], 3_000.0, SimDuration::from_millis(25), 6);
+    assert!(
+        report.totals.tenant_wipes > 0,
+        "tenant switches must wipe scratchpads"
+    );
+    assert!(report.completion_ratio() > 0.98);
+}
