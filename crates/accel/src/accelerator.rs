@@ -131,7 +131,7 @@ impl Accelerator {
     /// move the policy's pick onto a PE, preferring a PE last used by
     /// the same tenant (avoids a scratchpad wipe).
     pub fn start_next(&mut self, now: SimTime) -> Option<StartedJob> {
-        if !self.has_free_pe() || self.input.len() == 0 {
+        if !self.has_free_pe() || self.input.is_empty() {
             return None;
         }
         let refs: Vec<&QueueEntry> = self.input.iter().collect();

@@ -61,7 +61,22 @@ pub struct ServiceTimeModel {
 
 impl ServiceTimeModel {
     /// The calibrated baseline model at the given core clock.
+    ///
+    /// The cost/speedup tables are clock-independent constants, so
+    /// they are built once and memoized; each call clones the cached
+    /// tables and stamps in the requested clock. This keeps the call
+    /// cheap enough for per-probe use in the harness hot path.
     pub fn calibrated(clock: Frequency) -> Self {
+        static BASE: std::sync::OnceLock<ServiceTimeModel> = std::sync::OnceLock::new();
+        let mut model = BASE
+            .get_or_init(|| Self::build_calibrated(Frequency::from_ghz(1.0)))
+            .clone();
+        model.clock = clock;
+        model
+    }
+
+    /// The uncached table build backing [`Self::calibrated`].
+    fn build_calibrated(clock: Frequency) -> Self {
         use AccelKind::*;
         let mut costs = [CostModel {
             fixed_cycles: 0.0,

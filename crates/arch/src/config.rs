@@ -308,7 +308,7 @@ impl ArchConfig {
         if !(0.0..=1.0).contains(&self.llc_hit_ratio) {
             return Err("llc_hit_ratio must be within [0, 1]".into());
         }
-        if self.accel_tlb_ways == 0 || self.accel_tlb_entries % self.accel_tlb_ways != 0 {
+        if self.accel_tlb_ways == 0 || !self.accel_tlb_entries.is_multiple_of(self.accel_tlb_ways) {
             return Err("TLB entries must be divisible by associativity".into());
         }
         if !self.page_bytes.is_power_of_two() {

@@ -1,7 +1,9 @@
 //! Criterion micro-benchmarks of the simulation kernel's hot paths:
-//! the event queue, the latency histogram, the RNG samplers, and the
-//! server-pool booking used for PEs/cores/DMA engines.
+//! the event queue, the latency histogram, the RNG samplers, the
+//! server-pool booking used for PEs/cores/DMA engines, and the
+//! parallel sweep runner's scaling.
 
+use accelflow_bench::sweep;
 use accelflow_sim::engine::{EventQueue, Model, Simulation};
 use accelflow_sim::resource::ServerPool;
 use accelflow_sim::rng::SimRng;
@@ -82,6 +84,59 @@ fn bench_rng(c: &mut Criterion) {
     });
 }
 
+fn bench_schedule_pop(c: &mut Criterion) {
+    // Raw event-queue throughput, isolated from any model logic:
+    // schedule a batch at pseudo-random offsets, then drain it.
+    struct Sink;
+    impl Model for Sink {
+        type Event = u64;
+        fn handle(&mut self, _now: SimTime, _ev: u64, _queue: &mut EventQueue<u64>) {}
+    }
+    c.bench_function("engine/schedule_pop_100k", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Sink);
+            sim.queue_mut().reserve(100_000);
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for i in 0..100_000u64 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                sim.queue_mut()
+                    .schedule(SimDuration::from_nanos(x % 1_000_000), i);
+            }
+            sim.run();
+            black_box(sim.queue_mut().delivered())
+        })
+    });
+}
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    // The sweep runner over a CPU-bound deterministic task, at one
+    // thread vs the configured parallelism. On a multi-core machine
+    // the N-thread variant should approach a linear speedup; the
+    // per-item work (~1M RNG draws) dwarfs the fan-out overhead.
+    let work = |seed: u64| {
+        let mut rng = SimRng::seed(seed);
+        let mut acc = 0.0f64;
+        for _ in 0..1_000_000 {
+            acc += rng.uniform();
+        }
+        acc
+    };
+    let inputs: Vec<u64> = (0..8).collect();
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("8x1M_draws_1_thread", |b| {
+        std::env::set_var("ACCELFLOW_THREADS", "1");
+        b.iter(|| black_box(sweep::map(inputs.clone(), work)));
+        std::env::remove_var("ACCELFLOW_THREADS");
+    });
+    group.bench_function("8x1M_draws_N_threads", |b| {
+        b.iter(|| black_box(sweep::map(inputs.clone(), work)));
+    });
+    group.finish();
+}
+
 fn bench_server_pool(c: &mut Criterion) {
     c.bench_function("resource/pool_acquire_10k", |b| {
         b.iter(|| {
@@ -99,8 +154,10 @@ fn bench_server_pool(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_schedule_pop,
     bench_histogram,
     bench_rng,
-    bench_server_pool
+    bench_server_pool,
+    bench_sweep_scaling
 );
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 
 use accelflow_bench::harness::{self, Scale};
 use accelflow_bench::paper;
+use accelflow_bench::sweep;
 use accelflow_bench::table::{pct, Table};
 use accelflow_core::policy::Policy;
 use accelflow_workloads::socialnetwork;
@@ -20,19 +21,21 @@ fn main() {
         scale.rps
     );
 
+    // One independent simulation per policy; fan out across sweep
+    // workers and print in the deterministic input order.
     let policies = Policy::HEADLINE;
-    let mut reports = Vec::new();
-    for &p in &policies {
-        let r = harness::run_policy(p, &services, arrivals.clone(), scale);
+    let reports = sweep::map(policies.to_vec(), |p| {
+        harness::run_policy(p, &services, arrivals.clone(), scale)
+    });
+    for (p, r) in policies.iter().zip(&reports) {
         println!(
             "{:<12} completed {:>7}/{:<7} avg-p99 {:>9.1} us  avg-mean {:>8.1} us",
             p.name(),
             r.completed(),
             r.offered(),
-            harness::avg_p99(&r),
-            harness::avg_mean(&r),
+            harness::avg_p99(r),
+            harness::avg_mean(r),
         );
-        reports.push(r);
     }
 
     // Per-service P99 table.

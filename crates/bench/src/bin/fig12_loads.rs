@@ -4,6 +4,7 @@
 
 use accelflow_bench::harness::{self, Scale};
 use accelflow_bench::paper;
+use accelflow_bench::sweep;
 use accelflow_bench::table::{pct, Table};
 use accelflow_core::policy::Policy;
 use accelflow_workloads::suites;
@@ -12,6 +13,16 @@ fn main() {
     let services = suites::deathstarbench();
     let scale = Scale::from_env();
     let loads = [(5_000.0, "Low"), (10_000.0, "Medium"), (15_000.0, "High")];
+
+    // All load × policy simulations are independent; run the full
+    // cross product through one sweep and slice rows afterwards.
+    let jobs: Vec<(f64, Policy)> = loads
+        .iter()
+        .flat_map(|&(rps, _)| Policy::HEADLINE.iter().map(move |&p| (rps, p)))
+        .collect();
+    let p99s = sweep::map(jobs, |(rps, p)| {
+        harness::avg_p99(&harness::run_poisson(p, &services, rps, scale))
+    });
 
     let mut t = Table::new(
         "Fig 12: avg P99 (us) under different loads",
@@ -29,13 +40,12 @@ fn main() {
         let mut row = vec![format!("{name} ({:.0}k)", rps / 1000.0)];
         let mut relief = 0.0;
         let mut af = 0.0;
-        for p in Policy::HEADLINE {
-            let r = harness::run_poisson(p, &services, *rps, scale);
-            let p99 = harness::avg_p99(&r);
-            if p == Policy::Relief {
+        for (j, p) in Policy::HEADLINE.iter().enumerate() {
+            let p99 = p99s[i * Policy::HEADLINE.len() + j];
+            if *p == Policy::Relief {
                 relief = p99;
             }
-            if p == Policy::AccelFlow {
+            if *p == Policy::AccelFlow {
                 af = p99;
             }
             row.push(format!("{p99:.0}"));

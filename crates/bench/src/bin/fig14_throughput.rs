@@ -5,6 +5,7 @@
 
 use accelflow_bench::harness;
 use accelflow_bench::paper;
+use accelflow_bench::sweep;
 use accelflow_bench::table::{pct, ratio, Table};
 use accelflow_core::machine::MachineConfig;
 use accelflow_core::policy::Policy;
@@ -18,28 +19,14 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(42);
 
-    let mut results = Vec::new();
-    let mut t = Table::new(
-        "Fig 14: max throughput under SLO (kRPS per service)",
-        &["architecture", "max kRPS/svc"],
-    );
-    for p in [
+    let policies = [
         Policy::NonAcc,
         Policy::CpuCentric,
         Policy::Relief,
         Policy::Cohort,
         Policy::AccelFlow,
         Policy::Ideal,
-    ] {
-        let tput = harness::max_throughput(p, &services, 5.0, seed);
-        println!(
-            "  measured {:<12} {:>8.1} kRPS/service",
-            p.name(),
-            tput / 1000.0
-        );
-        t.row(&[p.name().to_string(), format!("{:.1}", tput / 1000.0)]);
-        results.push((p, tput));
-    }
+    ];
     // Deadline-aware scheduling with per-request SLO slack (§IV-C).
     let mut slo_services = services.clone();
     for s in &mut slo_services {
@@ -47,7 +34,36 @@ fn main() {
     }
     let mut cfg = MachineConfig::new(Policy::AccelFlowDeadline);
     cfg.warmup = SimDuration::from_millis(5);
-    let dl = harness::max_throughput_with(&cfg, &slo_services, 5.0, seed);
+
+    // Seven independent SLO-bounded searches (six policies plus the
+    // deadline variant), fanned out as one sweep. Each inner search
+    // runs sequentially on its worker (nested sweeps don't multiply
+    // threads), so results match a fully sequential run bit for bit.
+    let searches: Vec<Option<Policy>> = policies
+        .iter()
+        .map(|&p| Some(p))
+        .chain(std::iter::once(None))
+        .collect();
+    let tputs = sweep::map(searches, |job| match job {
+        Some(p) => harness::max_throughput(p, &services, 5.0, seed),
+        None => harness::max_throughput_with(&cfg, &slo_services, 5.0, seed),
+    });
+    let dl = tputs[policies.len()];
+
+    let mut results = Vec::new();
+    let mut t = Table::new(
+        "Fig 14: max throughput under SLO (kRPS per service)",
+        &["architecture", "max kRPS/svc"],
+    );
+    for (p, &tput) in policies.iter().zip(&tputs) {
+        println!(
+            "  measured {:<12} {:>8.1} kRPS/service",
+            p.name(),
+            tput / 1000.0
+        );
+        t.row(&[p.name().to_string(), format!("{:.1}", tput / 1000.0)]);
+        results.push((*p, tput));
+    }
     t.row(&["AccelFlow+DL".into(), format!("{:.1}", dl / 1000.0)]);
     t.print();
 

@@ -3,6 +3,7 @@
 
 use accelflow_bench::harness::{self, Scale};
 use accelflow_bench::paper;
+use accelflow_bench::sweep;
 use accelflow_bench::table::{pct, Table};
 use accelflow_core::machine::Machine;
 use accelflow_core::policy::Policy;
@@ -13,12 +14,9 @@ fn main() {
     let scale = Scale::from_env();
     let arrivals = harness::shared_arrivals(&services, scale);
 
-    let mut t = Table::new(
-        "Fig 18: avg P99 (us) vs chiplet organization",
-        &["chiplets", "avg P99 (us)", "vs 2-chiplet"],
-    );
-    let mut two = 0.0;
-    for chiplets in [1usize, 2, 3, 4, 6] {
+    // One independent simulation per chiplet organization.
+    let orgs = [1usize, 2, 3, 4, 6];
+    let p99s = sweep::map(orgs.to_vec(), |chiplets| {
         let mut cfg = harness::machine_config(Policy::AccelFlow, scale);
         cfg.chiplets = chiplets;
         let r = Machine::run_arrivals(
@@ -28,7 +26,15 @@ fn main() {
             scale.duration,
             scale.seed,
         );
-        let p99 = harness::avg_p99(&r);
+        harness::avg_p99(&r)
+    });
+
+    let mut t = Table::new(
+        "Fig 18: avg P99 (us) vs chiplet organization",
+        &["chiplets", "avg P99 (us)", "vs 2-chiplet"],
+    );
+    let mut two = 0.0;
+    for (&chiplets, &p99) in orgs.iter().zip(&p99s) {
         if chiplets == 2 {
             two = p99;
         }

@@ -3,6 +3,7 @@
 
 use accelflow_bench::harness::{self, Scale};
 use accelflow_bench::paper;
+use accelflow_bench::sweep;
 use accelflow_bench::table::{pct, Table};
 use accelflow_core::machine::{Machine, MachineConfig};
 use accelflow_core::policy::Policy;
@@ -19,21 +20,10 @@ fn main() {
         s.slo_slack = Some(5.0);
     }
 
-    let mut t = Table::new(
-        "Fig 19: PE-count sensitivity",
-        &[
-            "PEs",
-            "avg P99 (us)",
-            "vs 8 PEs",
-            "fallback %",
-            "deadline misses %",
-            "max kRPS",
-            "tput drop",
-        ],
-    );
-    let mut base_p99 = 0.0;
-    let mut base_tput = 0.0;
-    for pes in [8usize, 4, 2] {
+    // Each PE count needs a latency run and an SLO-bounded throughput
+    // search; all six simulations fan out through one sweep.
+    let pe_counts = [8usize, 4, 2];
+    let rows = sweep::map(pe_counts.to_vec(), |pes| {
         let mut cfg = harness::machine_config(Policy::AccelFlow, scale);
         cfg.arch.pes_per_accelerator = pes;
         let r = Machine::run_arrivals(
@@ -52,10 +42,23 @@ fn main() {
         tcfg.warmup = SimDuration::from_millis(5);
         tcfg.arch.pes_per_accelerator = pes;
         let tput = harness::max_throughput_with(&tcfg, &services, 5.0, scale.seed);
-        if pes == 8 {
-            base_p99 = p99;
-            base_tput = tput;
-        }
+        (p99, fallback, misses, completed, tput)
+    });
+
+    let mut t = Table::new(
+        "Fig 19: PE-count sensitivity",
+        &[
+            "PEs",
+            "avg P99 (us)",
+            "vs 8 PEs",
+            "fallback %",
+            "deadline misses %",
+            "max kRPS",
+            "tput drop",
+        ],
+    );
+    let (base_p99, _, _, _, base_tput) = rows[0];
+    for (&pes, &(p99, fallback, misses, completed, tput)) in pe_counts.iter().zip(&rows) {
         t.row(&[
             pes.to_string(),
             format!("{p99:.0}"),

@@ -3,6 +3,7 @@
 //! Enqueue retry loop spans instances of a type). Sweeps instance
 //! count on a lean per-instance configuration.
 
+use accelflow_bench::sweep;
 use accelflow_bench::table::{pct, Table};
 use accelflow_core::machine::{Machine, MachineConfig};
 use accelflow_core::policy::Policy;
@@ -11,6 +12,15 @@ use accelflow_workloads::socialnetwork;
 
 fn main() {
     let services = socialnetwork::all();
+    let counts = [1usize, 2, 4];
+    let reports = sweep::map(counts.to_vec(), |instances| {
+        let mut cfg = MachineConfig::new(Policy::AccelFlow);
+        cfg.warmup = SimDuration::from_millis(5);
+        cfg.instances_per_accel = instances;
+        cfg.arch.pes_per_accelerator = 2;
+        Machine::run_workload(&cfg, &services, 13_400.0, SimDuration::from_millis(80), 42)
+    });
+
     let mut t = Table::new(
         "Instance-count sweep (2 PEs per instance, 13.4 kRPS/svc)",
         &[
@@ -20,12 +30,7 @@ fn main() {
             "fallback share",
         ],
     );
-    for instances in [1usize, 2, 4] {
-        let mut cfg = MachineConfig::new(Policy::AccelFlow);
-        cfg.warmup = SimDuration::from_millis(5);
-        cfg.instances_per_accel = instances;
-        cfg.arch.pes_per_accelerator = 2;
-        let r = Machine::run_workload(&cfg, &services, 13_400.0, SimDuration::from_millis(80), 42);
+    for (&instances, r) in counts.iter().zip(&reports) {
         let p99: f64 = r
             .per_service
             .iter()

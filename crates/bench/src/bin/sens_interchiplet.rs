@@ -4,6 +4,7 @@
 
 use accelflow_bench::harness::{self, Scale};
 use accelflow_bench::paper;
+use accelflow_bench::sweep;
 use accelflow_bench::table::{pct, Table};
 use accelflow_core::machine::Machine;
 use accelflow_core::policy::Policy;
@@ -14,28 +15,39 @@ fn main() {
     let scale = Scale::from_env();
     let arrivals = harness::shared_arrivals(&services, scale);
 
+    // Full cycles × chiplets cross product as one sweep.
+    let cycle_points = [20.0f64, 60.0, 100.0];
+    let orgs = [2usize, 6];
+    let jobs: Vec<(f64, usize)> = cycle_points
+        .iter()
+        .flat_map(|&cycles| orgs.iter().map(move |&chiplets| (cycles, chiplets)))
+        .collect();
+    let p99s = sweep::map(jobs, |(cycles, chiplets)| {
+        let mut cfg = harness::machine_config(Policy::AccelFlow, scale);
+        cfg.chiplets = chiplets;
+        cfg.arch.inter_chiplet_cycles = cycles;
+        // Slower links also carry less bandwidth (flit-clocked,
+        // partially compensated by deeper pipelining).
+        cfg.arch.inter_chiplet_bw *= (60.0 / cycles).powf(0.25);
+        let r = Machine::run_arrivals(
+            &cfg,
+            &services,
+            arrivals.clone(),
+            scale.duration,
+            scale.seed,
+        );
+        harness::avg_p99(&r)
+    });
+
     let mut t = Table::new(
         "Inter-chiplet latency sweep: avg P99 (us)",
         &["cycles", "2-chiplet", "6-chiplet"],
     );
     let mut six_at = std::collections::BTreeMap::new();
-    for cycles in [20.0f64, 60.0, 100.0] {
+    for (i, &cycles) in cycle_points.iter().enumerate() {
         let mut row = vec![format!("{cycles:.0}")];
-        for chiplets in [2usize, 6] {
-            let mut cfg = harness::machine_config(Policy::AccelFlow, scale);
-            cfg.chiplets = chiplets;
-            cfg.arch.inter_chiplet_cycles = cycles;
-            // Slower links also carry less bandwidth (flit-clocked,
-            // partially compensated by deeper pipelining).
-            cfg.arch.inter_chiplet_bw *= (60.0 / cycles).powf(0.25);
-            let r = Machine::run_arrivals(
-                &cfg,
-                &services,
-                arrivals.clone(),
-                scale.duration,
-                scale.seed,
-            );
-            let p99 = harness::avg_p99(&r);
+        for (j, &chiplets) in orgs.iter().enumerate() {
+            let p99 = p99s[i * orgs.len() + j];
             if chiplets == 6 {
                 six_at.insert(cycles as u64, p99);
             }

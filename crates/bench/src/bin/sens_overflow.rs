@@ -2,6 +2,7 @@
 //! area per input queue; §VII-B6 reports how often it is exercised).
 //! Sweeps the overflow capacity on a lean ensemble under heavy load.
 
+use accelflow_bench::sweep;
 use accelflow_bench::table::{pct, Table};
 use accelflow_core::machine::{Machine, MachineConfig};
 use accelflow_core::policy::Policy;
@@ -10,6 +11,16 @@ use accelflow_workloads::socialnetwork;
 
 fn main() {
     let services = vec![socialnetwork::read_home_timeline(), socialnetwork::login()];
+    let sizes = [0usize, 8, 64, 256];
+    let reports = sweep::map(sizes.to_vec(), |overflow| {
+        let mut cfg = MachineConfig::new(Policy::AccelFlow);
+        cfg.warmup = SimDuration::from_millis(5);
+        cfg.arch.pes_per_accelerator = 2;
+        cfg.arch.input_queue_entries = 8;
+        cfg.arch.overflow_entries = overflow;
+        Machine::run_workload(&cfg, &services, 40_000.0, SimDuration::from_millis(60), 9)
+    });
+
     let mut t = Table::new(
         "Overflow-area sizing (2-PE ensemble, heavy load)",
         &[
@@ -20,13 +31,7 @@ fn main() {
             "p99 (us)",
         ],
     );
-    for overflow in [0usize, 8, 64, 256] {
-        let mut cfg = MachineConfig::new(Policy::AccelFlow);
-        cfg.warmup = SimDuration::from_millis(5);
-        cfg.arch.pes_per_accelerator = 2;
-        cfg.arch.input_queue_entries = 8;
-        cfg.arch.overflow_entries = overflow;
-        let r = Machine::run_workload(&cfg, &services, 40_000.0, SimDuration::from_millis(60), 9);
+    for (&overflow, r) in sizes.iter().zip(&reports) {
         let p99: f64 = r
             .per_service
             .iter()

@@ -3,6 +3,7 @@
 
 use accelflow_bench::harness;
 use accelflow_bench::paper;
+use accelflow_bench::sweep;
 use accelflow_bench::table::{ratio, Table};
 use accelflow_core::machine::MachineConfig;
 use accelflow_core::policy::Policy;
@@ -15,6 +16,29 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(42);
+    let points = [
+        (0.25, Some(1.4)),
+        (0.5, None),
+        (1.0, Some(2.2)),
+        (2.0, None),
+        (4.0, Some(3.9)),
+    ];
+    // Ten independent throughput searches (5 scales × 2 policies).
+    let jobs: Vec<(f64, Policy)> = points
+        .iter()
+        .flat_map(|&(scale_f, _)| {
+            [Policy::Relief, Policy::AccelFlow]
+                .iter()
+                .map(move |&p| (scale_f, p))
+        })
+        .collect();
+    let tputs = sweep::map(jobs, |(scale_f, p)| {
+        let mut cfg = MachineConfig::new(p);
+        cfg.warmup = SimDuration::from_millis(5);
+        cfg.speedup_scale = scale_f;
+        harness::max_throughput_with(&cfg, &services, 5.0, seed)
+    });
+
     let mut t = Table::new(
         "Speedup sweep: AccelFlow gain over RELIEF (max throughput)",
         &[
@@ -25,21 +49,9 @@ fn main() {
             "paper",
         ],
     );
-    for (scale_f, paper_gain) in [
-        (0.25, Some(1.4)),
-        (0.5, None),
-        (1.0, Some(2.2)),
-        (2.0, None),
-        (4.0, Some(3.9)),
-    ] {
-        let tput = |p: Policy| {
-            let mut cfg = MachineConfig::new(p);
-            cfg.warmup = SimDuration::from_millis(5);
-            cfg.speedup_scale = scale_f;
-            harness::max_throughput_with(&cfg, &services, 5.0, seed)
-        };
-        let relief = tput(Policy::Relief);
-        let af = tput(Policy::AccelFlow);
+    for (i, (scale_f, paper_gain)) in points.into_iter().enumerate() {
+        let relief = tputs[2 * i];
+        let af = tputs[2 * i + 1];
         t.row(&[
             format!("{scale_f}x"),
             format!("{:.1}", relief / 1000.0),

@@ -68,5 +68,13 @@ fn main() {
         avg.totals.tenant_wipes.to_string(),
         String::new(),
     ]);
+    t.row(&[
+        "past-time events clamped".into(),
+        format!(
+            "{} (trace load) / {} (peak)",
+            avg.totals.clamped_events, peak.totals.clamped_events
+        ),
+        "0 in a healthy model".into(),
+    ]);
     t.print();
 }

@@ -12,6 +12,8 @@ use accelflow_sim::time::SimDuration;
 use accelflow_trace::templates::TraceLibrary;
 use accelflow_workloads::arrivals::{bursty_arrivals, BurstyProfile};
 
+use crate::sweep;
+
 /// The run scale of an experiment (duration, warmup, per-service load).
 #[derive(Clone, Copy, Debug)]
 pub struct Scale {
@@ -155,40 +157,179 @@ pub fn max_throughput(policy: Policy, services: &[ServiceSpec], slo_mult: f64, s
 /// [`max_throughput`] with an explicit machine configuration (smaller
 /// machines for tests, PE sweeps for Fig 19, deadline scheduling for
 /// §VII-A3).
+///
+/// With more than one sweep thread available this runs the
+/// *speculative* parallel search: the unloaded baseline and all bracket
+/// doublings go out as one [`sweep::map`], then each bisection round
+/// evaluates the next few levels of the decision tree concurrently.
+/// Every probe is a pure function of `rps` (seeded simulation, fixed
+/// window), so the speculative walk lands on exactly the probes the
+/// sequential search would have made and returns a bit-identical
+/// result — it only trades redundant probe work for wall-clock.
 pub fn max_throughput_with(
     cfg: &MachineConfig,
     services: &[ServiceSpec],
     slo_mult: f64,
     seed: u64,
 ) -> f64 {
+    if sweep::parallelism() == 1 || sweep::in_sweep() {
+        max_throughput_sequential(cfg, services, slo_mult, seed)
+    } else {
+        max_throughput_speculative(cfg, services, slo_mult, seed)
+    }
+}
+
+/// Starting load of the throughput search (requests/second/service).
+const SEARCH_FLOOR_RPS: f64 = 100.0;
+/// Doubling steps in the exponential bracket phase.
+const BRACKET_STEPS: usize = 12;
+/// Halving steps in the bisection phase.
+const BISECT_STEPS: usize = 7;
+
+/// One SLO probe at `rps`: the window adapts so every service collects
+/// enough samples for a stable P99 (low-rate probes need longer
+/// windows). Pure in its arguments — the cornerstone of the
+/// speculative parallel search.
+fn probe_report(cfg: &MachineConfig, services: &[ServiceSpec], rps: f64, seed: u64) -> RunReport {
+    let ms = ((400.0 / rps) * 1000.0).clamp(80.0, 2_000.0) as u64;
+    Machine::run_workload(cfg, services, rps, SimDuration::from_millis(ms), seed)
+}
+
+/// The original single-threaded search: exponential bracket with early
+/// exit, then bisection. Used when only one sweep thread is configured
+/// (it probes strictly fewer points than the speculative variant).
+fn max_throughput_sequential(
+    cfg: &MachineConfig,
+    services: &[ServiceSpec],
+    slo_mult: f64,
+    seed: u64,
+) -> f64 {
     let unloaded = unloaded_p99s(cfg, services, seed);
-    let probe = |rps: f64| {
-        // Adapt the window so every service collects enough samples
-        // for a stable P99 (low-rate probes need longer windows).
-        let ms = ((400.0 / rps) * 1000.0).clamp(80.0, 2_000.0) as u64;
-        let report = Machine::run_workload(cfg, services, rps, SimDuration::from_millis(ms), seed);
-        meets_slo(&report, &unloaded, slo_mult)
-    };
-    // Exponential bracket then bisection.
-    let mut lo = 100.0;
+    let probe = |rps: f64| meets_slo(&probe_report(cfg, services, rps, seed), &unloaded, slo_mult);
+    let mut lo = SEARCH_FLOOR_RPS;
     if !probe(lo) {
         return lo;
     }
     let mut hi = lo;
-    for _ in 0..12 {
+    for _ in 0..BRACKET_STEPS {
         hi *= 2.0;
         if !probe(hi) {
             break;
         }
         lo = hi;
     }
-    for _ in 0..7 {
+    for _ in 0..BISECT_STEPS {
         let mid = (lo + hi) / 2.0;
         if probe(mid) {
             lo = mid;
         } else {
             hi = mid;
         }
+    }
+    lo
+}
+
+/// Midpoints of the bisection decision tree rooted at `(lo, hi)`, down
+/// to `depth` levels, generated with the same `(lo + hi) / 2.0` float
+/// arithmetic the sequential walk uses so speculative probes land on
+/// bit-identical loads.
+fn bisection_candidates(lo: f64, hi: f64, depth: usize, out: &mut Vec<f64>) {
+    if depth == 0 {
+        return;
+    }
+    let mid = (lo + hi) / 2.0;
+    out.push(mid);
+    bisection_candidates(lo, mid, depth - 1, out);
+    bisection_candidates(mid, hi, depth - 1, out);
+}
+
+/// The parallel search. Phase 1 evaluates the unloaded baseline plus
+/// every bracket doubling concurrently (the bracket has no early exit —
+/// failed speculation costs only redundant work, never correctness).
+/// Phase 2 bisects, evaluating 2^d − 1 speculative midpoints per round,
+/// with d sized to the thread budget.
+fn max_throughput_speculative(
+    cfg: &MachineConfig,
+    services: &[ServiceSpec],
+    slo_mult: f64,
+    seed: u64,
+) -> f64 {
+    enum Job {
+        Unloaded,
+        Probe(f64),
+    }
+    enum Out {
+        Unloaded(Vec<SimDuration>),
+        Report(Box<RunReport>),
+    }
+
+    // Phase 1: baseline + bracket, one fan-out.
+    let mut bracket = vec![SEARCH_FLOOR_RPS];
+    let mut v = SEARCH_FLOOR_RPS;
+    for _ in 0..BRACKET_STEPS {
+        v *= 2.0;
+        bracket.push(v);
+    }
+    let jobs: Vec<Job> = std::iter::once(Job::Unloaded)
+        .chain(bracket.iter().map(|&rps| Job::Probe(rps)))
+        .collect();
+    let outs = sweep::map(jobs, |job| match job {
+        Job::Unloaded => Out::Unloaded(unloaded_p99s(cfg, services, seed)),
+        Job::Probe(rps) => Out::Report(Box::new(probe_report(cfg, services, rps, seed))),
+    });
+    let mut outs = outs.into_iter();
+    let unloaded = match outs.next() {
+        Some(Out::Unloaded(u)) => u,
+        _ => unreachable!("first sweep job is the unloaded baseline"),
+    };
+    let pass: Vec<bool> = outs
+        .map(|o| match o {
+            Out::Report(r) => meets_slo(&r, &unloaded, slo_mult),
+            Out::Unloaded(_) => unreachable!("only one baseline job"),
+        })
+        .collect();
+
+    // Replay the sequential bracket walk over the cached outcomes.
+    if !pass[0] {
+        return bracket[0];
+    }
+    let mut lo = bracket[0];
+    let mut hi = lo;
+    for &ok in &pass[1..] {
+        hi *= 2.0;
+        if !ok {
+            break;
+        }
+        lo = hi;
+    }
+
+    // Phase 2: speculative bisection. Depth d costs 2^d − 1 probes per
+    // round; match it to the thread budget so one round is one wave.
+    let depth_per_round = if sweep::parallelism() >= 8 { 3 } else { 2 };
+    let mut cache: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
+    let mut remaining = BISECT_STEPS;
+    while remaining > 0 {
+        let d = depth_per_round.min(remaining);
+        let mut mids = Vec::new();
+        bisection_candidates(lo, hi, d, &mut mids);
+        // Degenerate intervals repeat midpoints; probe each load once.
+        let mut seen = std::collections::HashSet::new();
+        mids.retain(|m| !cache.contains_key(&m.to_bits()) && seen.insert(m.to_bits()));
+        let results = sweep::map(mids.clone(), |m| {
+            meets_slo(&probe_report(cfg, services, m, seed), &unloaded, slo_mult)
+        });
+        for (m, r) in mids.iter().zip(results) {
+            cache.insert(m.to_bits(), r);
+        }
+        for _ in 0..d {
+            let mid = (lo + hi) / 2.0;
+            if cache[&mid.to_bits()] {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        remaining -= d;
     }
     lo
 }
@@ -261,6 +402,21 @@ mod tests {
         let af = max_throughput_with(&mk(Policy::AccelFlow), &services, 5.0, 3);
         let non = max_throughput_with(&mk(Policy::NonAcc), &services, 5.0, 3);
         assert!(af > non * 1.5, "AccelFlow {af} must beat Non-acc {non}");
+    }
+
+    #[test]
+    fn speculative_search_matches_sequential() {
+        // The speculative parallel search must land on exactly the
+        // sequential result — same bracket, same bisection descent —
+        // because probes are pure. Compare the two algorithms directly
+        // (sweep::map degrades gracefully whatever the thread count).
+        let services = vec![socialnetwork::uniq_id()];
+        let mut cfg = machine_config(Policy::AccelFlow, Scale::quick());
+        cfg.arch.cores = 2;
+        cfg.arch.pes_per_accelerator = 1;
+        let seq = max_throughput_sequential(&cfg, &services, 5.0, 3);
+        let spec = max_throughput_speculative(&cfg, &services, 5.0, 3);
+        assert_eq!(seq, spec, "speculative search diverged from sequential");
     }
 
     #[test]

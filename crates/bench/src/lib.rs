@@ -7,10 +7,14 @@
 //!
 //! - [`harness`] — standard run configurations, the max-throughput
 //!   (SLO-bounded) search, and experiment plumbing.
+//! - [`sweep`] — the parallel sweep runner: independent simulations
+//!   fan out across worker threads (`ACCELFLOW_THREADS`), results come
+//!   back in deterministic input order.
 //! - [`table`] — plain-text table rendering for experiment output.
 //! - [`paper`] — the numbers the paper reports, as constants, so every
 //!   binary can print paper-vs-measured side by side.
 
 pub mod harness;
 pub mod paper;
+pub mod sweep;
 pub mod table;

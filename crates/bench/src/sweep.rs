@@ -1,0 +1,225 @@
+//! Parallel sweep runner for independent simulations.
+//!
+//! The paper's evaluation is embarrassingly parallel: every figure is a
+//! set of *independent* single-threaded simulations (policy × load ×
+//! seed), so the harness fans them out across OS threads and collects
+//! the results **in input order**. Each simulation still runs on one
+//! thread with its own seeded RNG, so every result is bit-for-bit
+//! identical to a sequential run — parallelism exists only *across*
+//! simulations, never within one (see DESIGN.md, "Parallel harness").
+//!
+//! Thread count comes from `ACCELFLOW_THREADS`, defaulting to
+//! [`std::thread::available_parallelism`]. `ACCELFLOW_THREADS=1`
+//! degrades to a plain sequential loop with no threads spawned.
+//!
+//! Nested sweeps (a parallel figure loop whose body calls the parallel
+//! [`max_throughput`](crate::harness::max_throughput) search) run their
+//! inner layer sequentially, so the total thread count stays bounded by
+//! the configured parallelism instead of multiplying per level.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// True on sweep worker threads; makes nested sweeps sequential.
+    static IN_SWEEP: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The sweep's worker-thread budget: `ACCELFLOW_THREADS` if set (values
+/// below 1 are treated as 1), else the machine's available parallelism.
+pub fn parallelism() -> usize {
+    match std::env::var("ACCELFLOW_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Whether the current thread is already inside a sweep worker.
+pub fn in_sweep() -> bool {
+    IN_SWEEP.with(|f| f.get())
+}
+
+/// Applies `f` to every input, returning outputs in input order.
+///
+/// Runs across up to [`parallelism`] worker threads; falls back to a
+/// plain sequential loop when only one thread is configured, when there
+/// are fewer than two inputs, or when called from inside another sweep
+/// (nested parallelism would multiply thread counts).
+///
+/// # Determinism
+///
+/// `f` is invoked exactly once per input and outputs are returned in
+/// input order, so for any `f` whose result depends only on its input
+/// (which holds for every simulation in this repo: seeded RNG, no
+/// shared mutable state) the result vector is identical — bit for bit —
+/// to `inputs.into_iter().map(f).collect()`.
+pub fn map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let threads = parallelism().min(inputs.len());
+    if threads <= 1 || in_sweep() {
+        return inputs.into_iter().map(f).collect();
+    }
+
+    let n = inputs.len();
+    let slots: Vec<Mutex<Option<I>>> = inputs.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let outputs: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let slots = &slots;
+    let outputs = &outputs;
+    let next = &next;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(move || {
+                IN_SWEEP.with(|flag| flag.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let input = slots[i]
+                        .lock()
+                        .expect("sweep input slot poisoned")
+                        .take()
+                        .expect("sweep input claimed twice");
+                    let out = f(input);
+                    *outputs[i].lock().expect("sweep output slot poisoned") = Some(out);
+                }
+            });
+        }
+    });
+
+    outputs
+        .iter()
+        .map(|m| {
+            m.lock()
+                .expect("sweep output slot poisoned")
+                .take()
+                .expect("sweep worker left an output empty")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Helper: run `body` with `ACCELFLOW_THREADS` pinned, restoring
+    /// the prior value afterwards. Serialized via a lock because env
+    /// vars are process-global.
+    fn with_threads(n: &str, body: impl FnOnce()) {
+        static ENV_LOCK: Mutex<()> = Mutex::new(());
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let prev = std::env::var("ACCELFLOW_THREADS").ok();
+        std::env::set_var("ACCELFLOW_THREADS", n);
+        body();
+        match prev {
+            Some(v) => std::env::set_var("ACCELFLOW_THREADS", v),
+            None => std::env::remove_var("ACCELFLOW_THREADS"),
+        }
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        with_threads("4", || {
+            let inputs: Vec<u64> = (0..64).collect();
+            let out = map(inputs.clone(), |x| x * x);
+            let expect: Vec<u64> = inputs.iter().map(|x| x * x).collect();
+            assert_eq!(out, expect);
+        });
+    }
+
+    #[test]
+    fn single_thread_fallback_spawns_no_workers() {
+        with_threads("1", || {
+            // Sequential fallback runs f on the caller's thread, so a
+            // thread-local write from f is visible here afterwards.
+            thread_local! {
+                static TOUCHED: Cell<u32> = const { Cell::new(0) };
+            }
+            TOUCHED.with(|t| t.set(0));
+            let out = map(vec![1u32, 2, 3], |x| {
+                TOUCHED.with(|t| t.set(t.get() + 1));
+                x + 10
+            });
+            assert_eq!(out, vec![11, 12, 13]);
+            assert_eq!(TOUCHED.with(|t| t.get()), 3, "must run on caller thread");
+        });
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        // The determinism contract at the sweep level: same closure,
+        // same inputs, same outputs, independent of thread count.
+        let work = |seed: u64| {
+            // A deterministic mini-workload (xorshift walk).
+            let mut x = seed.wrapping_add(0x9E3779B97F4A7C15);
+            for _ in 0..1000 {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+            }
+            x
+        };
+        let inputs: Vec<u64> = (0..32).collect();
+        let mut seq = Vec::new();
+        with_threads("1", || seq = map(inputs.clone(), work));
+        let mut par = Vec::new();
+        with_threads("8", || par = map(inputs.clone(), work));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn each_input_runs_exactly_once() {
+        with_threads("8", || {
+            let calls = AtomicU64::new(0);
+            let out = map((0..100u64).collect(), |x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                x
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 100);
+            assert_eq!(out.len(), 100);
+        });
+    }
+
+    #[test]
+    fn nested_sweeps_run_sequentially() {
+        with_threads("4", || {
+            let out = map(vec![0u32, 1, 2, 3], |outer| {
+                assert!(in_sweep() || parallelism() == 1);
+                // The inner sweep must not spawn another thread layer.
+                let inner = map(vec![10u32, 20], |x| {
+                    assert!(in_sweep() || parallelism() == 1);
+                    x + outer
+                });
+                inner.iter().sum::<u32>()
+            });
+            assert_eq!(out, vec![30, 32, 34, 36]);
+        });
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        with_threads("4", || {
+            let empty: Vec<u32> = map(Vec::new(), |x: u32| x);
+            assert!(empty.is_empty());
+            assert_eq!(map(vec![7u32], |x| x * 2), vec![14]);
+        });
+    }
+
+    #[test]
+    fn env_parsing_clamps_to_one() {
+        with_threads("0", || assert_eq!(parallelism(), 1));
+        with_threads("garbage", || assert_eq!(parallelism(), 1));
+        with_threads("3", || assert_eq!(parallelism(), 3));
+    }
+}

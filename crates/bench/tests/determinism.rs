@@ -1,0 +1,86 @@
+//! The parallel harness's determinism contract: fanning simulations
+//! across sweep workers must produce results bit-for-bit identical to
+//! a sequential loop, because parallelism exists only *across*
+//! simulations — each simulation still runs single-threaded with its
+//! own seeded RNG.
+//!
+//! `RunReport` doesn't implement `PartialEq`, so reports are compared
+//! through their full `Debug` rendering, which covers every counter,
+//! histogram bucket, and timestamp a run produces.
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::sweep;
+use accelflow_core::policy::Policy;
+use accelflow_core::stats::RunReport;
+use accelflow_workloads::socialnetwork;
+
+/// All (policy × seed) simulation cells of the test matrix.
+fn cells() -> Vec<(Policy, u64)> {
+    let policies = [Policy::AccelFlow, Policy::Relief];
+    let seeds = [7u64, 42, 1234];
+    policies
+        .iter()
+        .flat_map(|&p| seeds.iter().map(move |&s| (p, s)))
+        .collect()
+}
+
+fn run_cell(policy: Policy, seed: u64) -> RunReport {
+    let services = vec![socialnetwork::uniq_id(), socialnetwork::login()];
+    let mut scale = Scale::quick();
+    scale.seed = seed;
+    harness::run_poisson(policy, &services, 1_500.0, scale)
+}
+
+fn render(reports: &[RunReport]) -> Vec<String> {
+    reports.iter().map(|r| format!("{r:?}")).collect()
+}
+
+#[test]
+fn parallel_sweep_reports_are_byte_identical_to_sequential() {
+    // Sequential reference: a plain loop, no sweep involved.
+    let sequential: Vec<RunReport> = cells().into_iter().map(|(p, s)| run_cell(p, s)).collect();
+
+    // The sweep path. Whatever ACCELFLOW_THREADS says, this exercises
+    // the worker fan-out machinery (order restoration, slot handoff);
+    // on a multi-core box it also exercises true concurrency.
+    let swept = sweep::map(cells(), |(p, s)| run_cell(p, s));
+
+    let seq = render(&sequential);
+    let par = render(&swept);
+    assert_eq!(seq.len(), par.len());
+    for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(a, b, "cell {i} diverged between sequential and sweep");
+    }
+}
+
+#[test]
+fn repeated_sweeps_are_stable() {
+    // Two sweeps of the same matrix must agree with each other —
+    // catches any hidden shared mutable state across simulations
+    // (memoized libraries handed out by reference, RNG leakage...).
+    let first = render(&sweep::map(cells(), |(p, s)| run_cell(p, s)));
+    let second = render(&sweep::map(cells(), |(p, s)| run_cell(p, s)));
+    assert_eq!(first, second);
+}
+
+#[test]
+fn throughput_search_is_thread_count_invariant() {
+    // The speculative parallel search must return the sequential
+    // result for a small machine regardless of worker count.
+    let services = vec![socialnetwork::uniq_id()];
+    let mk = || {
+        let mut cfg = harness::machine_config(Policy::AccelFlow, Scale::quick());
+        cfg.arch.cores = 2;
+        cfg.arch.pes_per_accelerator = 1;
+        cfg
+    };
+    let with_threads = |n: &str| {
+        std::env::set_var("ACCELFLOW_THREADS", n);
+        let r = harness::max_throughput_with(&mk(), &services, 5.0, 3);
+        std::env::remove_var("ACCELFLOW_THREADS");
+        r
+    };
+    let seq = with_threads("1"); // original early-exit sequential search
+    let par = with_threads("4"); // speculative parallel search
+    assert_eq!(seq, par, "search result must not depend on thread count");
+}

@@ -161,6 +161,10 @@ pub struct MachineTotals {
     pub tenant_wipes: u64,
     /// Trace initiations delayed by the per-tenant cap (§IV-D).
     pub tenant_throttled: u64,
+    /// Past-time `schedule_at` calls the event queue clamped forward.
+    /// Non-zero means some component computed a timestamp from stale
+    /// state — a time-travel bug the clamp would otherwise hide.
+    pub clamped_events: u64,
     /// DMA bytes moved.
     pub dma_bytes: u64,
     /// Energy breakdown over the run.
@@ -259,12 +263,13 @@ mod tests {
 
     #[test]
     fn breakdown_accumulates_and_fractions() {
-        let mut b = Breakdown::default();
-        b.cpu = SimDuration::from_micros(60);
-        b.accel = SimDuration::from_micros(30);
-        b.orchestration = SimDuration::from_micros(5);
-        b.communication = SimDuration::from_micros(5);
-        b.external = SimDuration::from_micros(100);
+        let b = Breakdown {
+            cpu: SimDuration::from_micros(60),
+            accel: SimDuration::from_micros(30),
+            orchestration: SimDuration::from_micros(5),
+            communication: SimDuration::from_micros(5),
+            external: SimDuration::from_micros(100),
+        };
         assert_eq!(b.on_server(), SimDuration::from_micros(100));
         assert!((b.orchestration_fraction() - 0.05).abs() < 1e-12);
         let mut c = Breakdown::default();

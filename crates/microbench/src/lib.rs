@@ -1,0 +1,211 @@
+//! Minimal in-tree stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no package registry, so the workspace
+//! vendors the small subset of criterion's API its benches actually
+//! use: [`Criterion::bench_function`], [`Criterion::benchmark_group`]
+//! (with `sample_size` / `finish`), [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros. Bench
+//! sources compile unchanged against either this shim or the real
+//! crate.
+//!
+//! Measurement model: each `iter` call is auto-calibrated to batches
+//! long enough to dwarf timer overhead, then `sample_size` batches are
+//! timed and the median per-iteration nanoseconds reported. That is
+//! deliberately simpler than criterion's bootstrap analysis, but the
+//! medians are stable enough to compare runs of the same machine.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Minimum wall-clock time one measured batch must cover; batches are
+/// doubled until they do, so `Instant` overhead stays below ~0.1%.
+const MIN_BATCH: Duration = Duration::from_millis(10);
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Per-target timing loop handed to the closure in
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time in nanoseconds, filled by `iter`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median per-iteration cost.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm caches and lazy statics outside the measurement.
+        black_box(routine());
+
+        // Calibrate the batch size.
+        let mut iters: u64 = 1;
+        let mut batch = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= MIN_BATCH || iters >= 1 << 24 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters = iters.saturating_mul(2);
+        };
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        samples.push(batch);
+        for _ in 1..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            batch = start.elapsed().as_nanos() as f64 / iters as f64;
+            samples.push(batch);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// Top-level harness handle; collects and prints one line per target.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLES,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark target and prints its median time.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let name = name.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            median_ns: f64::NAN,
+        };
+        f(&mut b);
+        println!("{:<40} {:>14}", name, format_ns(b.median_ns));
+        self
+    }
+
+    /// Starts a named group of related targets.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.into(),
+            sample_size: self.sample_size,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group; `bench_function` targets print as `group/target`.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    sample_size: usize,
+    // Tie the group's lifetime to the Criterion borrow like the real
+    // API does, so sources stay compatible with upstream criterion.
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed batches per target.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark target within the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            median_ns: f64::NAN,
+        };
+        f(&mut b);
+        let full = format!("{}/{}", self.prefix, name.into());
+        println!("{:<40} {:>14}", full, format_ns(b.median_ns));
+        self
+    }
+
+    /// Ends the group (upstream criterion runs its analysis here; the
+    /// shim has nothing left to do).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns < 1_000.0 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:8.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:8.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:8.3} s ", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+/// Ignores harness CLI flags (`--bench`, filters) that cargo passes.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports_finite_median() {
+        // Capture isn't needed; just ensure the pipeline runs and the
+        // bencher records a sane median for a trivial workload.
+        let mut b = Bencher {
+            sample_size: 3,
+            median_ns: f64::NAN,
+        };
+        b.iter(|| black_box(1u64 + 1));
+        assert!(b.median_ns.is_finite() && b.median_ns >= 0.0);
+    }
+
+    #[test]
+    fn group_sample_size_floors_at_two() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(0);
+        assert_eq!(g.sample_size, 2);
+    }
+
+    #[test]
+    fn format_ns_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("us"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(f64::NAN).contains("n/a"));
+    }
+}

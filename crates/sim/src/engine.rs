@@ -66,16 +66,31 @@ pub struct EventQueue<E> {
     now: SimTime,
     seq: u64,
     delivered: u64,
+    clamped: u64,
 }
 
 impl<E> EventQueue<E> {
     fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// An empty queue with room for `capacity` pending events before
+    /// the heap reallocates. Sizing for the steady-state event
+    /// population keeps scheduling allocation-free in the hot loop.
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: BinaryHeap::with_capacity(capacity),
             now: SimTime::ZERO,
             seq: 0,
             delivered: 0,
+            clamped: 0,
         }
+    }
+
+    /// Grows the heap to hold at least `additional` more events
+    /// without reallocating.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
     }
 
     /// The current simulated time (the timestamp of the event being
@@ -94,7 +109,14 @@ impl<E> EventQueue<E> {
     ///
     /// Scheduling in the past is clamped to the current time (the event
     /// still fires, immediately after already-queued same-time events).
+    /// Each clamp increments the [`EventQueue::clamped`] counter — a
+    /// past-time schedule usually means a model computed a timestamp
+    /// from stale state, so the count makes such time-travel bugs
+    /// visible instead of silently rewriting them.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        if at < self.now {
+            self.clamped += 1;
+        }
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -114,6 +136,14 @@ impl<E> EventQueue<E> {
     /// Total number of events delivered so far.
     pub fn delivered(&self) -> u64 {
         self.delivered
+    }
+
+    /// How many [`EventQueue::schedule_at`] calls targeted an instant
+    /// before the current time and were clamped forward. Zero in a
+    /// healthy model; a growing count points at a component scheduling
+    /// from stale timestamps.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
@@ -266,6 +296,28 @@ mod tests {
         sim.queue_mut().schedule(SimDuration::from_picos(50), true);
         sim.run();
         assert_eq!(sim.model().fired, vec![50, 50]);
+        // The clamp is counted, not silent.
+        assert_eq!(sim.queue_mut().clamped(), 1);
+    }
+
+    #[test]
+    fn clamp_counter_starts_at_zero_and_ignores_future() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(16);
+        assert_eq!(q.clamped(), 0);
+        q.schedule_at(SimTime::from_picos(10), 1);
+        q.schedule(SimDuration::from_picos(5), 2);
+        assert_eq!(q.clamped(), 0, "future events are not clamps");
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn with_capacity_preallocates() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(1000);
+        q.reserve(2000);
+        for i in 0..1000 {
+            q.schedule(SimDuration::from_picos(i), i as u32);
+        }
+        assert_eq!(q.len(), 1000);
     }
 
     #[test]

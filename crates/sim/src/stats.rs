@@ -292,7 +292,7 @@ mod tests {
             h.record(v);
         }
         for p in [1.0, 10.0, 50.0, 90.0, 99.0, 99.9] {
-            let expect = (p / 100.0 * 100_000.0) as f64;
+            let expect = p / 100.0 * 100_000.0;
             let got = h.percentile(p) as f64;
             assert!(
                 (got - expect).abs() / expect < 0.02,
@@ -547,7 +547,7 @@ mod timeseries_tests {
         let art = ts.sparkline(&['.', '#'], |t, i| t.mean(i).unwrap_or(0.0));
         assert_eq!(art.len(), 5);
         assert_eq!(art.chars().nth(2), Some('#'));
-        assert_eq!(art.chars().nth(0), Some('.'));
+        assert_eq!(art.chars().next(), Some('.'));
     }
 
     #[test]

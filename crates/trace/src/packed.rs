@@ -106,7 +106,7 @@ impl<'a> NibbleReader<'a> {
 
     fn next(&mut self) -> Option<u8> {
         let byte = self.bytes.get(self.pos / 2)?;
-        let n = if self.pos % 2 == 0 {
+        let n = if self.pos.is_multiple_of(2) {
             byte >> 4
         } else {
             byte & 0xF

@@ -173,8 +173,19 @@ pub struct TraceLibrary {
 
 impl TraceLibrary {
     /// Builds the full T1–T12 library with a 64-entry ATM.
+    ///
+    /// The build walks every template through the trace compiler, so
+    /// it is far too expensive for a per-simulation hot path (the
+    /// harness constructs one library per probe). The first call does
+    /// the real build; later calls clone a memoized copy, which is two
+    /// orders of magnitude cheaper. Callers still own an independent
+    /// library (ATM occupancy counters and all), so mutation stays
+    /// simulation-local.
     pub fn standard() -> Self {
-        Self::with_atm(Atm::new(64))
+        static STANDARD: std::sync::OnceLock<TraceLibrary> = std::sync::OnceLock::new();
+        STANDARD
+            .get_or_init(|| Self::with_atm(Atm::new(64)))
+            .clone()
     }
 
     /// Builds the library into the provided ATM.

@@ -69,8 +69,13 @@ fn main() {
     for rps in [2_000.0, 10_000.0, 40_000.0] {
         let mut cfg = MachineConfig::new(Policy::AccelFlow);
         cfg.warmup = SimDuration::from_millis(3);
-        let report =
-            Machine::run_workload(&cfg, &[svc.clone()], rps, SimDuration::from_millis(40), 11);
+        let report = Machine::run_workload(
+            &cfg,
+            std::slice::from_ref(&svc),
+            rps,
+            SimDuration::from_millis(40),
+            11,
+        );
         let s = &report.per_service[0];
         println!(
             "{:<10} {:>10} {:>12.1} {:>12.1}",
