@@ -151,6 +151,16 @@ impl InputQueue {
         self.entries.len() < self.capacity
     }
 
+    /// SRAM entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Overflow-area capacity.
+    pub fn overflow_capacity(&self) -> usize {
+        self.overflow_capacity
+    }
+
     /// Total entries waiting (SRAM + overflow).
     pub fn backlog(&self) -> usize {
         self.entries.len() + self.overflow.len()

@@ -150,6 +150,17 @@ impl EnergyMeter {
         self.noc_bytes += n;
     }
 
+    /// Monotone activity totals: `(core busy, accel busy, summed event
+    /// counters)`. Every accumulator only grows, so consistency audits
+    /// can assert these never decrease between observations.
+    pub fn activity(&self) -> (SimDuration, SimDuration, u64) {
+        (
+            self.core_busy,
+            self.accel_busy,
+            self.dispatcher_instrs + self.queue_accesses + self.dma_bytes + self.noc_bytes,
+        )
+    }
+
     /// Produces the energy breakdown for the window `[0, now]`.
     ///
     /// Busy time beyond the available capacity (e.g. accumulated after

@@ -62,11 +62,15 @@ pub struct Tlb {
 
 impl Tlb {
     /// Creates a TLB with the configured geometry and latencies.
+    /// Degenerate geometries (zero ways or fewer entries than ways)
+    /// are clamped to a 1-way, 1-set cache rather than producing a
+    /// structure whose eviction path would panic on an empty set.
     pub fn new(cfg: &ArchConfig) -> Self {
-        let sets = cfg.accel_tlb_entries / cfg.accel_tlb_ways;
+        let ways = cfg.accel_tlb_ways.max(1);
+        let sets = (cfg.accel_tlb_entries / ways).max(1);
         Tlb {
-            sets: vec![Vec::new(); sets.max(1)],
-            ways: cfg.accel_tlb_ways,
+            sets: vec![Vec::new(); sets],
+            ways,
             page_shift: cfg.page_bytes.trailing_zeros(),
             hit_latency: cfg.cycles(cfg.tlb_hit_cycles),
             walk_latency: cfg.cycles(cfg.iommu_walk_cycles),
@@ -243,6 +247,35 @@ mod tests {
         t.translate(ProcessId(2), 0x1000);
         t.flush_process(ProcessId(1));
         assert!(!t.translate(ProcessId(1), 0x1000).hit);
+        assert!(t.translate(ProcessId(2), 0x1000).hit);
+    }
+
+    #[test]
+    fn degenerate_geometries_never_panic() {
+        // Regression: ways == 0 used to divide by zero in `new`, and a
+        // ways-0 TLB that survived construction hit the
+        // `.expect("set is non-empty")` eviction on its first miss.
+        for ways in 0..4usize {
+            for entries in 0..8usize {
+                let mut cfg = ArchConfig::icelake();
+                cfg.accel_tlb_ways = ways;
+                cfg.accel_tlb_entries = entries;
+                let mut t = Tlb::new(&cfg);
+                let pid = ProcessId(1);
+                // Enough distinct pages to force evictions whatever the
+                // clamped geometry came out as.
+                for page in 0..32u64 {
+                    let _ = t.translate(pid, page << 12);
+                }
+                assert_eq!(t.hits() + t.misses(), 32, "ways={ways} entries={entries}");
+            }
+        }
+        // A 1-entry clamp still caches: re-touching the same page hits.
+        let mut cfg = ArchConfig::icelake();
+        cfg.accel_tlb_ways = 0;
+        cfg.accel_tlb_entries = 0;
+        let mut t = Tlb::new(&cfg);
+        assert!(!t.translate(ProcessId(2), 0x1000).hit);
         assert!(t.translate(ProcessId(2), 0x1000).hit);
     }
 

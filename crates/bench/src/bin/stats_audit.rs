@@ -1,0 +1,100 @@
+//! Runs the headline experiments with the invariant auditor forced on
+//! and reports every violation it catches.
+//!
+//! Two workload shapes, mirroring the paper's evaluation:
+//!
+//! 1. Fig 11-style: the eight SocialNetwork services under bursty
+//!    Alibaba-like arrivals, one run per headline policy over shared
+//!    arrivals.
+//! 2. Fig 14-style: fixed-load Poisson runs with per-request SLO slack
+//!    (deadline scheduling) plus the Ideal bound.
+//!
+//! Exit status is non-zero if any run reports a violation, so CI can
+//! gate on it. Scale via `ACCELFLOW_DURATION_MS` / `ACCELFLOW_RPS` /
+//! `ACCELFLOW_SEED` as usual.
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::sweep;
+use accelflow_core::machine::{Machine, MachineConfig};
+use accelflow_core::policy::Policy;
+use accelflow_core::stats::RunReport;
+use accelflow_workloads::socialnetwork;
+
+fn print_report(label: &str, r: &RunReport) -> bool {
+    let a = &r.audit;
+    println!(
+        "{:<24} completed {:>7}/{:<7} checks {:>10}  violations {}",
+        label,
+        r.completed(),
+        r.offered(),
+        a.checks,
+        a.violation_count,
+    );
+    for v in &a.violations {
+        println!("    [{}] at {}: {}", v.invariant, v.at, v.detail);
+    }
+    if a.violation_count > a.violations.len() as u64 {
+        println!(
+            "    ... and {} more (recording capped)",
+            a.violation_count - a.violations.len() as u64
+        );
+    }
+    a.is_clean()
+}
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    let mut clean = true;
+
+    // Fig 11 shape: shared bursty arrivals, headline policies.
+    let arrivals = harness::shared_arrivals(&services, scale);
+    println!(
+        "fig11 shape: {} arrivals over {} at {} rps/service, audits on",
+        arrivals.len(),
+        scale.duration,
+        scale.rps
+    );
+    let policies = Policy::HEADLINE;
+    let reports = sweep::map(policies.to_vec(), |p| {
+        let mut cfg = harness::machine_config(p, scale);
+        cfg.audit = true;
+        Machine::run_arrivals(
+            &cfg,
+            &services,
+            arrivals.clone(),
+            scale.duration,
+            scale.seed,
+        )
+    });
+    for (p, r) in policies.iter().zip(&reports) {
+        clean &= print_report(p.name(), r);
+    }
+
+    // Fig 14 shape: fixed-load Poisson runs with SLO deadlines.
+    let mut slo_services = services.clone();
+    for s in &mut slo_services {
+        s.slo_slack = Some(5.0);
+    }
+    println!(
+        "\nfig14 shape: Poisson at {} rps/service, SLO slack 5x",
+        scale.rps
+    );
+    let deadline_policies = [Policy::AccelFlowDeadline, Policy::AccelFlow, Policy::Ideal];
+    let reports = sweep::map(deadline_policies.to_vec(), |p| {
+        let mut cfg = MachineConfig::new(p);
+        cfg.warmup = scale.warmup;
+        cfg.audit = true;
+        Machine::run_workload(&cfg, &slo_services, scale.rps, scale.duration, scale.seed)
+    });
+    for (p, r) in deadline_policies.iter().zip(&reports) {
+        clean &= print_report(p.name(), r);
+    }
+
+    if clean {
+        println!("\nall runs clean");
+    } else {
+        println!("\ninvariant violations detected");
+        std::process::exit(1);
+    }
+}

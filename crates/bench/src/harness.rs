@@ -454,6 +454,7 @@ mod slo_tests {
             totals: MachineTotals::default(),
             measured: SimDuration::from_millis(10),
             ended_at: SimTime::ZERO + SimDuration::from_millis(10),
+            audit: accelflow_core::audit::AuditReport::disabled(),
         }
     }
 
@@ -505,6 +506,7 @@ mod slo_tests {
             totals: MachineTotals::default(),
             measured: SimDuration::ZERO,
             ended_at: SimTime::ZERO,
+            audit: accelflow_core::audit::AuditReport::disabled(),
         };
         assert_eq!(avg_p99(&empty), 0.0);
         assert_eq!(avg_mean(&empty), 0.0);

@@ -16,12 +16,18 @@
 //!   deadlines.
 //! - [`stats`] — run reports: latency percentiles, execution-time
 //!   breakdowns, counters, utilization, and energy.
+//! - [`audit`] — the invariant auditor the machine consults at every
+//!   state transition (request/call conservation, queue bounds,
+//!   monotonicity, ATM chain termination); always on in debug builds,
+//!   opt-in via the `audit` feature for release runs.
 
+pub mod audit;
 pub mod machine;
 pub mod policy;
 pub mod request;
 pub mod stats;
 
+pub use audit::{AuditReport, Auditor, Violation};
 pub use machine::{poisson_arrivals, Arrival, Machine, MachineConfig};
 pub use policy::Policy;
 pub use request::{

@@ -77,6 +77,10 @@ pub struct MachineConfig {
     /// Record raw (completion time, latency) samples per service for
     /// time-series diagnostics (costs memory; off by default).
     pub sample_latencies: bool,
+    /// Run the invariant [`Auditor`](crate::audit::Auditor) alongside
+    /// the event loop. Defaults to on in debug builds and under the
+    /// `audit` cargo feature; costs a constant-factor slowdown.
+    pub audit: bool,
 }
 
 impl MachineConfig {
@@ -94,6 +98,7 @@ impl MachineConfig {
             queue_policy_override: None,
             instances_per_accel: 1,
             sample_latencies: false,
+            audit: cfg!(any(debug_assertions, feature = "audit")),
         }
     }
 
@@ -275,6 +280,11 @@ struct RequestState {
     program: Program,
     step: usize,
     pending_calls: u32,
+    /// Trace calls currently holding a per-tenant slot. Unlike
+    /// `pending_calls` (which only counts the current step), this spans
+    /// the whole request so termination can release slots still held by
+    /// in-flight calls (e.g. siblings of a timed-out await).
+    active_calls: u32,
     deadline: Option<SimTime>,
     done: bool,
     error: bool,
@@ -313,6 +323,7 @@ pub struct Machine {
     end: SimTime,
     app_factor: f64,
     live: u64,
+    auditor: Option<crate::audit::Auditor>,
 }
 
 impl Machine {
@@ -357,10 +368,14 @@ impl Machine {
         let energy = EnergyMeter::new(EnergyModel::mcpat_like(), cfg.arch.cores, AccelKind::COUNT);
         let requests = (0..arrivals.len()).map(|_| None).collect();
         let warmup_end = SimTime::ZERO + cfg.warmup;
+        let lib = TraceLibrary::standard();
+        let auditor = cfg
+            .audit
+            .then(|| crate::audit::Auditor::new(arrivals.len(), lib.atm()));
         Machine {
             cfg,
             timing,
-            lib: TraceLibrary::standard(),
+            lib,
             net,
             dma,
             bus,
@@ -379,6 +394,7 @@ impl Machine {
             end,
             app_factor,
             live: 0,
+            auditor,
         }
     }
 
@@ -453,11 +469,27 @@ impl Machine {
         self.totals.dma_bytes = self.dma.bytes_moved();
         self.totals.atm_reads = self.lib.atm().reads();
         self.totals.energy = self.energy.report(now.max(end));
+        let audit = match self.auditor.take() {
+            Some(mut aud) => {
+                let offered: u64 = self.stats.iter().map(|s| s.offered).sum();
+                let completed: u64 = self.stats.iter().map(|s| s.completed).sum();
+                aud.finish(now, self.live, &self.tenant_active, offered, completed);
+                aud.into_report()
+            }
+            None => crate::audit::AuditReport::disabled(),
+        };
+        if cfg!(debug_assertions) && !audit.is_clean() {
+            panic!(
+                "invariant audit failed ({} violations): {:#?}",
+                audit.violation_count, audit.violations
+            );
+        }
         RunReport {
             per_service: self.stats,
             totals: self.totals,
             measured: end.saturating_since(self.warmup_end),
             ended_at: now,
+            audit,
         }
     }
 
@@ -484,6 +516,15 @@ impl Machine {
 
     fn req(&self, idx: u32) -> &RequestState {
         self.requests[idx as usize].as_ref().expect("request alive")
+    }
+
+    /// True when the request already terminated — either still parked
+    /// with `done` set or freed entirely. Every handler reachable from
+    /// a stale event (a response landing after a timeout killed the
+    /// request) must check this before touching request state:
+    /// termination frees the slot, so `req()` would panic.
+    fn req_gone(&self, idx: u32) -> bool {
+        self.requests[idx as usize].as_ref().is_none_or(|r| r.done)
     }
 
     fn req_mut(&mut self, idx: u32) -> &mut RequestState {
@@ -542,11 +583,15 @@ impl Machine {
             program: arrival.program,
             step: 0,
             pending_calls: 0,
+            active_calls: 0,
             deadline,
             done: false,
             error: false,
         });
         self.live += 1;
+        if let Some(aud) = self.auditor.as_mut() {
+            aud.record_admit(now, idx, measured);
+        }
         queue.schedule(SimDuration::ZERO, Ev::StartStep(idx));
     }
 
@@ -618,6 +663,11 @@ impl Machine {
     }
 
     fn start_call(&mut self, now: SimTime, addr: CallAddr, queue: &mut EventQueue<Ev>) {
+        // A throttled retry may land after a timeout terminated the
+        // request; there is nothing left to start.
+        if self.req_gone(addr.req) {
+            return;
+        }
         // Per-tenant trace cap (§IV-D): over-cap initiations are
         // throttled by retrying shortly (the VMM delays the Enqueue).
         let tenant = self.req(addr.req).tenant;
@@ -632,6 +682,10 @@ impl Machine {
             self.tenant_active.resize(idx + 1, 0);
         }
         self.tenant_active[idx] += 1;
+        self.req_mut(addr.req).active_calls += 1;
+        if let Some(aud) = self.auditor.as_mut() {
+            aud.record_call_start(now);
+        }
 
         let entry_is_network = {
             let r = self.req(addr.req);
@@ -693,6 +747,11 @@ impl Machine {
 
     /// Non-acc path: the whole segment is CPU work.
     fn start_segment_on_cpu(&mut self, now: SimTime, addr: CallAddr, queue: &mut EventQueue<Ev>) {
+        // An external response may arrive after a timeout terminated
+        // the request.
+        if self.req_gone(addr.req) {
+            return;
+        }
         let work = {
             let r = self.req(addr.req);
             let call = Self::call_of(&r.program, addr.step, addr.par);
@@ -709,7 +768,7 @@ impl Machine {
     }
 
     fn on_hop_arrive(&mut self, now: SimTime, addr: CallAddr, queue: &mut EventQueue<Ev>) {
-        if self.req(addr.req).done {
+        if self.req_gone(addr.req) {
             return; // e.g. a response arriving after a timeout
         }
         let (kind, entry) = self.make_entry(now, addr);
@@ -832,7 +891,7 @@ impl Machine {
         queue: &mut EventQueue<Ev>,
     ) {
         let addr = CallAddr::from_tag(started.entry.tag);
-        if self.req(addr.req).done {
+        if self.req_gone(addr.req) {
             // Owner gave up (timeout); release the PE immediately.
             self.accels[accel_idx].complete(started.pe, SimDuration::ZERO);
             queue.schedule(SimDuration::ZERO, Ev::TryStart(accel_idx as u8));
@@ -932,7 +991,7 @@ impl Machine {
             self.dispatch_shared(now, queue);
         }
         queue.schedule(SimDuration::ZERO, Ev::TryStart(accel));
-        if self.req(addr.req).done {
+        if self.req_gone(addr.req) {
             return;
         }
         self.after_hop(now, addr, queue);
@@ -1186,7 +1245,7 @@ impl Machine {
     }
 
     fn on_external_arrive(&mut self, now: SimTime, addr: CallAddr, queue: &mut EventQueue<Ev>) {
-        if self.req(addr.req).done {
+        if self.req_gone(addr.req) {
             return;
         }
         // Response messages re-enter through TCP. In the baselines the
@@ -1221,7 +1280,7 @@ impl Machine {
     }
 
     fn on_fallback_done(&mut self, now: SimTime, addr: CallAddr, queue: &mut EventQueue<Ev>) {
-        if self.req(addr.req).done {
+        if self.req_gone(addr.req) {
             return;
         }
         let (end, has_next, is_error) = {
@@ -1286,7 +1345,7 @@ impl Machine {
     }
 
     fn on_call_done(&mut self, now: SimTime, req: u32, error: bool, queue: &mut EventQueue<Ev>) {
-        if self.req(req).done {
+        if self.req_gone(req) {
             return;
         }
         // The core picks up the user-level notification.
@@ -1299,7 +1358,11 @@ impl Machine {
         if let Some(n) = self.tenant_active.get_mut(tenant.0 as usize) {
             *n = n.saturating_sub(1);
         }
+        if let Some(aud) = self.auditor.as_mut() {
+            aud.record_call_end(now, 1);
+        }
         let r = self.req_mut(req);
+        r.active_calls = r.active_calls.saturating_sub(1);
         if error {
             r.error = true;
         }
@@ -1311,7 +1374,7 @@ impl Machine {
     }
 
     fn on_timeout(&mut self, now: SimTime, req: u32) {
-        if self.req(req).done {
+        if self.req_gone(req) {
             return;
         }
         self.totals.tcp_timeouts += 1;
@@ -1330,6 +1393,25 @@ impl Machine {
         }
         r.done = true;
         self.live -= 1;
+        // A timeout can terminate the request while sibling calls are
+        // still in flight; their per-tenant slots must be released here
+        // or the tenant cap throttles forever on leaked slots (the
+        // stale CallDone events are dropped by the `req_gone` guards).
+        let leftover = std::mem::take(&mut r.active_calls);
+        let tenant = r.tenant;
+        let measured = r.measured;
+        if leftover > 0 {
+            if let Some(n) = self.tenant_active.get_mut(tenant.0 as usize) {
+                *n = n.saturating_sub(leftover);
+            }
+        }
+        if let Some(aud) = self.auditor.as_mut() {
+            aud.record_terminate(now, req, measured);
+            if leftover > 0 {
+                aud.record_call_end(now, leftover);
+            }
+        }
+        let r = self.requests[req as usize].as_mut().expect("request alive");
         let latency = now.saturating_since(r.arrival);
         if r.measured {
             let svc = r.service.0;
@@ -1368,12 +1450,57 @@ impl Machine {
         // Free the program's memory early; long runs hold many requests.
         self.requests[req as usize] = None;
     }
+
+    // ----- invariant audit hooks -----
+
+    fn audit_pre_event(&mut self, now: SimTime) {
+        if let Some(aud) = self.auditor.as_mut() {
+            aud.pre_event(now);
+        }
+    }
+
+    fn audit_post_event(&mut self, now: SimTime) {
+        // Destructure for disjoint borrows: the auditor is mutated
+        // while the hardware models are read.
+        let Machine {
+            auditor,
+            accels,
+            energy,
+            dma,
+            lib,
+            ..
+        } = self;
+        let Some(aud) = auditor.as_mut() else { return };
+        for (i, acc) in accels.iter().enumerate() {
+            let q = acc.input();
+            aud.check_queue(
+                now,
+                i,
+                q.len(),
+                q.capacity(),
+                q.overflow_len(),
+                q.overflow_capacity(),
+                q.overflow_count(),
+                q.rejected_count(),
+            );
+        }
+        let (core_busy, accel_busy, events) = energy.activity();
+        aud.check_meters(
+            now,
+            core_busy,
+            accel_busy,
+            events,
+            dma.bytes_moved(),
+            lib.atm().reads(),
+        );
+    }
 }
 
 impl Model for Machine {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+        self.audit_pre_event(now);
         match event {
             Ev::Arrive(idx) => self.on_arrive(now, idx, queue),
             Ev::StartStep(req) => self.on_start_step(now, req, queue),
@@ -1393,6 +1520,7 @@ impl Model for Machine {
             Ev::FallbackDone(addr) => self.on_fallback_done(now, addr, queue),
             Ev::Timeout { req, .. } => self.on_timeout(now, req),
         }
+        self.audit_post_event(now);
     }
 }
 
@@ -1631,6 +1759,99 @@ mod tests {
         assert!(hits + misses > 0);
         assert!(r.totals.energy.total_j > 0.0);
         assert!(r.totals.dma_bytes > 0);
+    }
+
+    #[test]
+    fn timeouts_terminate_without_stale_event_panics() {
+        // Regression: a TCP timeout terminates and *frees* the request
+        // while sibling parallel calls are still in flight. Their
+        // PeDone/HopArrive/CallDone events used to hit the freed slot
+        // and panic on `expect("request alive")`, and the tenant slots
+        // held by those siblings leaked — the latent path was
+        // unreachable only because every ExternalSpec median sits far
+        // below the default 20 ms timeout. A 10 µs timeout forces it.
+        // Two *parallel* DB awaits race: the first arm's timeout frees
+        // the request while the second arm's timeout (or response) is
+        // still queued.
+        let racing = ServiceSpec::new(
+            "RacingAwaits",
+            vec![
+                StageSpec::Call(CallSpec::new(TemplateId::T1)),
+                StageSpec::Parallel(vec![CallSpec::new(TemplateId::T4); 2]),
+                StageSpec::Call(CallSpec::new(TemplateId::T2)),
+            ],
+        );
+        for policy in [Policy::AccelFlow, Policy::NonAcc, Policy::CpuCentric] {
+            let mut cfg = MachineConfig::new(policy);
+            cfg.warmup = SimDuration::from_millis(1);
+            cfg.tcp_timeout = SimDuration::from_micros(10);
+            cfg.audit = true;
+            let r = Machine::run_workload(
+                &cfg,
+                &[racing.clone(), db_service()],
+                1_000.0,
+                SimDuration::from_millis(20),
+                7,
+            );
+            assert!(r.totals.tcp_timeouts > 0, "{policy}: timeouts must fire");
+            assert!(
+                r.per_service[0].errors > 0,
+                "{policy}: timed-out requests error out"
+            );
+            assert!(r.audit.enabled);
+            assert!(
+                r.audit.is_clean(),
+                "{policy}: audit violations {:?}",
+                r.audit.violations
+            );
+        }
+    }
+
+    #[test]
+    fn audit_runs_and_comes_back_clean() {
+        let r = quick_run(Policy::AccelFlow, 1_000.0);
+        assert!(r.audit.enabled, "debug builds audit by default");
+        assert!(r.audit.checks > 1_000, "checks ran: {}", r.audit.checks);
+        assert!(r.audit.is_clean(), "{:?}", r.audit.violations);
+        // Opting out produces an inert report.
+        let mut cfg = MachineConfig::new(Policy::AccelFlow);
+        cfg.warmup = SimDuration::from_millis(2);
+        cfg.audit = false;
+        let r = Machine::run_workload(
+            &cfg,
+            &[simple_service()],
+            300.0,
+            SimDuration::from_millis(10),
+            3,
+        );
+        assert!(!r.audit.enabled);
+        assert_eq!(r.audit.checks, 0);
+    }
+
+    #[test]
+    fn tenant_slots_drain_after_timeouts_under_tight_cap() {
+        // The leaked-slot variant of the timeout bug: with a tiny
+        // tenant cap, leaked slots would throttle the tenant forever
+        // and the audit's end-of-run tenant-slot check would trip.
+        let mut cfg = MachineConfig::new(Policy::AccelFlow);
+        cfg.warmup = SimDuration::from_millis(1);
+        cfg.tcp_timeout = SimDuration::from_micros(10);
+        cfg.tenant_cap = 4;
+        cfg.audit = true;
+        let r = Machine::run_workload(
+            &cfg,
+            &[db_service()],
+            2_000.0,
+            SimDuration::from_millis(20),
+            13,
+        );
+        assert!(r.totals.tcp_timeouts > 0);
+        assert!(r.audit.is_clean(), "{:?}", r.audit.violations);
+        assert!(
+            r.completion_ratio() > 0.5,
+            "leaked slots would starve the tenant: {}",
+            r.completion_ratio()
+        );
     }
 
     #[test]

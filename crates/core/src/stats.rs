@@ -194,6 +194,8 @@ pub struct RunReport {
     pub measured: SimDuration,
     /// The instant the run ended.
     pub ended_at: SimTime,
+    /// Invariant-audit outcome (empty/clean when auditing was off).
+    pub audit: crate::audit::AuditReport,
 }
 
 impl RunReport {
@@ -313,6 +315,7 @@ mod tests {
             totals: MachineTotals::default(),
             measured: SimDuration::from_millis(1),
             ended_at: SimTime::ZERO + SimDuration::from_millis(1),
+            audit: crate::audit::AuditReport::disabled(),
         };
         assert_eq!(report.completed(), 2);
         assert_eq!(report.offered(), 3);

@@ -301,6 +301,80 @@ mod tests {
     }
 
     #[test]
+    fn clamped_event_fires_after_queued_same_time_events() {
+        // A past-time schedule is clamped to `now`, but it must not jump
+        // ahead of events already queued for `now`: the FIFO tie-break
+        // orders by scheduling sequence, and the clamped event was
+        // scheduled last.
+        struct Racer {
+            log: Vec<(u64, u32)>,
+        }
+        impl Model for Racer {
+            type Event = u32;
+            fn handle(&mut self, now: SimTime, ev: u32, queue: &mut EventQueue<u32>) {
+                self.log.push((now.as_picos(), ev));
+                if ev == 1 {
+                    queue.schedule(SimDuration::ZERO, 2); // same instant
+                    queue.schedule(SimDuration::ZERO, 3); // same instant
+                    queue.schedule_at(SimTime::from_picos(1), 4); // past → clamped
+                    queue.schedule_at(now, 5); // exactly now: legal, not a clamp
+                }
+            }
+        }
+        let mut sim = Simulation::new(Racer { log: vec![] });
+        sim.queue_mut().schedule(SimDuration::from_picos(50), 1);
+        sim.run();
+        assert_eq!(
+            sim.model().log,
+            vec![(50, 1), (50, 2), (50, 3), (50, 4), (50, 5)],
+            "clamped event must run after already-queued same-time events"
+        );
+        assert_eq!(
+            sim.queue_mut().clamped(),
+            1,
+            "only the past-time schedule clamps"
+        );
+    }
+
+    #[test]
+    fn clamp_counter_matches_observed_clamps() {
+        // Every past-time schedule — and nothing else — bumps the
+        // counter, so it equals the number of clamps the model actually
+        // performed.
+        struct Mixed {
+            past_schedules: u64,
+            delivered: u64,
+        }
+        impl Model for Mixed {
+            type Event = u32;
+            fn handle(&mut self, now: SimTime, ev: u32, queue: &mut EventQueue<u32>) {
+                self.delivered += 1;
+                if ev < 3 {
+                    // One stale (past) schedule and one healthy one per
+                    // seed event.
+                    queue.schedule_at(SimTime::from_picos(now.as_picos() / 2), 10 + ev);
+                    self.past_schedules += 1;
+                    queue.schedule(SimDuration::from_picos(7), 20 + ev);
+                }
+            }
+        }
+        let mut sim = Simulation::new(Mixed {
+            past_schedules: 0,
+            delivered: 0,
+        });
+        for i in 0..3u64 {
+            sim.queue_mut()
+                .schedule(SimDuration::from_picos(10 + i * 10), i as u32);
+        }
+        sim.run();
+        let m = sim.model().past_schedules;
+        assert_eq!(m, 3);
+        assert_eq!(sim.queue_mut().clamped(), m, "counter == observed clamps");
+        assert_eq!(sim.model().delivered, 9, "no clamped event was lost");
+        assert_eq!(sim.queue_mut().delivered(), 9);
+    }
+
+    #[test]
     fn clamp_counter_starts_at_zero_and_ignores_future() {
         let mut q: EventQueue<u32> = EventQueue::with_capacity(16);
         assert_eq!(q.clamped(), 0);

@@ -137,7 +137,8 @@ impl Histogram {
     }
 
     /// The value at the given percentile (0–100), within ~1.6% relative
-    /// error. Returns 0 for an empty histogram.
+    /// error. Returns 0 for an empty histogram. `p = 0` is the exact
+    /// minimum and `p = 100` the exact maximum.
     ///
     /// # Panics
     ///
@@ -146,6 +147,12 @@ impl Histogram {
         assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
         if self.count == 0 {
             return 0;
+        }
+        if p == 0.0 {
+            // The rank formula below floors at rank 1, which is p~ε,
+            // not p0: a histogram of {1, 1000} must report p0 = 1 even
+            // though bucket resolution would round rank 1 upward.
+            return self.min;
         }
         let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
@@ -358,6 +365,116 @@ mod tests {
     #[should_panic(expected = "percentile must be in [0, 100]")]
     fn percentile_range_checked() {
         Histogram::new().percentile(101.0);
+    }
+
+    /// Sorted-vec reference: exact p0/p100, nearest-rank interior.
+    fn oracle(sorted: &[u64], p: f64) -> u64 {
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank.min(sorted.len()) - 1]
+    }
+
+    #[test]
+    fn percentile_edges_match_sorted_oracle() {
+        // Regression: p0 used to floor the rank at 1, returning p~ε
+        // instead of the minimum — {1, 1000} reported p0 ≈ 1000.
+        let mut h = Histogram::new();
+        h.record(1);
+        h.record(1000);
+        assert_eq!(h.percentile(0.0), 1, "p0 must be the minimum");
+        assert_eq!(h.percentile(100.0), 1000);
+
+        let mut rng = crate::rng::SimRng::seed(0x5EED);
+        let mut values: Vec<u64> = (0..5_000)
+            .map(|_| rng.uniform_range(1.0, 1e10) as u64)
+            .collect();
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        assert_eq!(h.percentile(0.0), values[0], "p0 == exact min");
+        assert_eq!(
+            h.percentile(100.0),
+            *values.last().unwrap(),
+            "p100 == exact max"
+        );
+        for p in [10.0, 50.0, 90.0, 99.0] {
+            let want = oracle(&values, p) as f64;
+            let got = h.percentile(p) as f64;
+            assert!(
+                (got - want).abs() / want < 0.02,
+                "p{p}: got {got}, oracle {want}"
+            );
+        }
+    }
+
+    /// Metamorphic check: merging N partial histograms must equal one
+    /// histogram of the concatenated stream — exactly for count, sum,
+    /// mean, min, max, and every percentile (identical bucket arrays).
+    #[test]
+    fn merge_is_metamorphic_over_partitions() {
+        let mut rng = crate::rng::SimRng::seed(0xACC0);
+        let values: Vec<u64> = (0..4_000)
+            .map(|_| {
+                // Mixed magnitudes: sub-bucket linear range up to ~1e12.
+                let exp = rng.uniform_range(0.0, 12.0);
+                10f64.powf(exp) as u64
+            })
+            .collect();
+        for parts in [2usize, 3, 7] {
+            let mut partials = vec![Histogram::new(); parts];
+            let mut whole = Histogram::new();
+            for (i, &v) in values.iter().enumerate() {
+                partials[i % parts].record(v);
+                whole.record(v);
+            }
+            let mut merged = Histogram::new();
+            for p in &partials {
+                merged.merge(p);
+            }
+            assert_eq!(merged.count(), whole.count());
+            assert_eq!(merged.min(), whole.min());
+            assert_eq!(merged.max(), whole.max());
+            assert_eq!(merged.mean(), whole.mean(), "sums must match exactly");
+            for p in [0.0, 1.0, 25.0, 50.0, 75.0, 99.0, 99.9, 100.0] {
+                assert_eq!(
+                    merged.percentile(p),
+                    whole.percentile(p),
+                    "p{p} diverged with {parts} partitions"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_disjoint_ranges_and_bucket_counts() {
+        // `a` only has small values (short bucket array); `b` only huge
+        // ones (long bucket array). Merge in both directions and check
+        // against recording the concatenated stream.
+        let small: Vec<u64> = (1..=100).collect();
+        let huge: Vec<u64> = (1..=100).map(|v| v * 1_000_000_000).collect();
+        let build = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let mut whole = Histogram::new();
+        for &v in small.iter().chain(huge.iter()) {
+            whole.record(v);
+        }
+        for (first, second) in [(&small, &huge), (&huge, &small)] {
+            let mut m = build(first);
+            m.merge(&build(second));
+            assert_eq!(m.count(), whole.count());
+            assert_eq!(m.mean(), whole.mean());
+            assert_eq!(m.percentile(0.0), 1, "global min survives merge");
+            assert_eq!(m.percentile(100.0), 100_000_000_000);
+            for p in [10.0, 50.0, 90.0] {
+                assert_eq!(m.percentile(p), whole.percentile(p));
+            }
+        }
     }
 
     #[test]

@@ -269,34 +269,47 @@ pub fn unpack(name: impl Into<String>, bytes: &[u8]) -> Result<Trace, PackError>
 /// given ATM address (paper §IV-A: "If a sequence exceeds 8 bytes,
 /// AccelFlow would split it into multiple subtraces").
 ///
-/// Only straight-line prefixes are split: the cut happens at the last
-/// `Accel` slot at or before `max_slots` that is not jumped over by a
-/// branch. Returns `None` if the trace already fits.
+/// A cut at `c` is *safe* when every control transfer in the head
+/// (indices `< c`) targets a slot `<= c`: a target of exactly `c` lands
+/// on the head's appended `NextTrace` slot, which chains to the first
+/// tail slot — the same place the target meant in the original trace.
+/// The largest safe cut within the packable window is chosen, so every
+/// split strictly shrinks the tail and repeated splits terminate.
+///
+/// Returns `None` if the trace already fits, or if no safe cut exists
+/// (a control transfer near the start spans past the packable window —
+/// such a trace cannot be encoded in 4-bit slot indices at all).
 pub fn split_for_packing(
     trace: &Trace,
     max_slots: usize,
     chain_at: AtmAddr,
 ) -> Option<(Trace, Trace)> {
-    if trace.slots().len() <= max_slots {
+    let n = trace.slots().len();
+    if n <= max_slots || max_slots < 2 {
         return None;
     }
-    // Find a safe cut: the earliest branch/jump target must stay within
-    // the head, so cut before the first slot that is a target of any
-    // control transfer, or at max_slots - 1, whichever is earlier.
-    let first_target = trace
-        .slots()
-        .iter()
-        .flat_map(|s| match s {
+    // Scan candidate cuts left to right, tracking the furthest target
+    // of any transfer already inside the head window; a candidate is
+    // safe when no such target points beyond it. The old
+    // first-target-minus-one rule could leave a branch in the head with
+    // targets outside it, producing an invalid (panicking) head — or,
+    // with a branch targeting slot 1, a degenerate one-slot head.
+    let limit = (max_slots - 1).min(n - 1);
+    let mut best = None;
+    let mut furthest = 0usize;
+    for c in 1..=limit {
+        match trace.slots()[c - 1] {
             Slot::Branch {
                 on_true, on_false, ..
-            } => vec![*on_true, *on_false],
-            Slot::Jump(t) => vec![*t],
-            _ => vec![],
-        })
-        .min()
-        .map(|t| t as usize)
-        .unwrap_or(usize::MAX);
-    let cut = (max_slots - 1).min(first_target.saturating_sub(1)).max(1);
+            } => furthest = furthest.max(on_true as usize).max(on_false as usize),
+            Slot::Jump(t) => furthest = furthest.max(t as usize),
+            _ => {}
+        }
+        if furthest <= c {
+            best = Some(c);
+        }
+    }
+    let cut = best?;
 
     let mut head: Vec<Slot> = trace.slots()[..cut].to_vec();
     head.push(Slot::NextTrace(chain_at));
@@ -442,5 +455,85 @@ mod tests {
     #[test]
     fn split_not_needed_for_short_traces() {
         assert!(split_for_packing(&t1_like(), 15, AtmAddr(0)).is_none());
+    }
+
+    /// Builds a 20-slot trace whose first slot is a branch targeting
+    /// slots 1 and `far` — the shape that broke the old cut rule.
+    fn leading_branch_trace(far: u8) -> Trace {
+        let mut slots = vec![Slot::Branch {
+            cond: BranchCond::Compressed,
+            on_true: 1,
+            on_false: far,
+        }];
+        slots.extend((0..18).map(|i| Slot::Accel(AccelKind::from_id(i % 9).unwrap())));
+        slots.push(Slot::ToCpu);
+        Trace::new("lead", slots)
+    }
+
+    #[test]
+    fn split_with_branch_targeting_slot_one() {
+        // Regression: the old `first_target - 1` cut put the branch in a
+        // one-slot head whose false target (5) pointed past the head,
+        // panicking inside Trace::new. The safe cut must keep both
+        // targets inside the head window.
+        let t = leading_branch_trace(5);
+        let (head, tail) = split_for_packing(&t, 15, AtmAddr(9)).unwrap();
+        assert!(head.slots().len() >= 6, "head covers both branch arms");
+        assert!(tail.slots().len() < t.slots().len(), "tail shrank");
+        assert!(pack(&head).is_ok());
+        assert!(pack(&tail).is_ok());
+        for compressed in [false, true] {
+            let flags = PayloadFlags {
+                compressed,
+                ..Default::default()
+            };
+            let mut joined = head.resolve_path(&flags);
+            assert_eq!(joined.pop(), Some(PathStep::Chain(AtmAddr(9))));
+            joined.extend(tail.resolve_path(&flags));
+            assert_eq!(joined, t.resolve_path(&flags), "compressed={compressed}");
+        }
+    }
+
+    #[test]
+    fn split_repeats_until_packable() {
+        // Every split must strictly shrink the tail so the loop below
+        // terminates; the joined path must equal the original.
+        let slots: Vec<Slot> = (0..40)
+            .map(|i| Slot::Accel(AccelKind::from_id(i % 9).unwrap()))
+            .chain([Slot::ToCpu])
+            .collect();
+        let mut rest = Trace::new("long40", slots);
+        let original = rest.resolve_path(&PayloadFlags::default());
+        let mut joined = Vec::new();
+        let mut rounds = 0;
+        while let Some((head, tail)) = split_for_packing(&rest, 15, AtmAddr(rounds)) {
+            assert!(pack(&head).is_ok());
+            assert!(tail.slots().len() < rest.slots().len(), "tail must shrink");
+            let mut p = head.resolve_path(&PayloadFlags::default());
+            assert_eq!(p.pop(), Some(PathStep::Chain(AtmAddr(rounds))));
+            joined.extend(p);
+            rest = tail;
+            rounds += 1;
+            assert!(rounds < 10, "splitting did not terminate");
+        }
+        assert!(pack(&rest).is_ok());
+        joined.extend(rest.resolve_path(&PayloadFlags::default()));
+        assert_eq!(joined, original);
+    }
+
+    #[test]
+    fn split_with_branch_spanning_window_returns_none() {
+        // A leading branch whose false arm lands beyond the packable
+        // window admits no safe cut; the old code produced a corrupt
+        // head here instead of declining.
+        let mut slots = vec![Slot::Branch {
+            cond: BranchCond::Hit,
+            on_true: 1,
+            on_false: 18,
+        }];
+        slots.extend((0..18).map(|_| Slot::Accel(AccelKind::Tcp)));
+        slots.push(Slot::ToCpu);
+        let t = Trace::new("wide", slots);
+        assert!(split_for_packing(&t, 8, AtmAddr(0)).is_none());
     }
 }

@@ -1,0 +1,252 @@
+//! Differential fuzzing of the packed nibble encoding.
+//!
+//! `pack ∘ unpack` must be the identity over every valid trace, and
+//! [`split_for_packing`] chains must execute the same path as the
+//! unsplit original. Rather than enumerate shapes by hand, this harness
+//! drives the generators with a fixed-seed [`SimRng`] so each run
+//! covers >10k random programs reproducibly: all nine accelerator
+//! kinds, every branch condition (including `Custom` mask/expect
+//! payloads), transforms over every format pair, mid-trace `NextTrace`
+//! chains, forks, and jumps — plus the regression shape from the split
+//! bug, traces whose *first* slot is a branch target.
+
+use accelflow_sim::rng::SimRng;
+use accelflow_trace::atm::AtmAddr;
+use accelflow_trace::cond::{BranchCond, PayloadFlags};
+use accelflow_trace::format::{DataFormat, Transform};
+use accelflow_trace::ir::{PathStep, Slot, Trace};
+use accelflow_trace::kind::AccelKind;
+use accelflow_trace::packed::{pack, split_for_packing, unpack};
+
+/// ATM addresses at or above this are reserved for split-chain links,
+/// so a randomly generated mid-trace `NextTrace` can never be mistaken
+/// for one.
+const CHAIN_BASE: u16 = 0xFF00;
+
+/// Random branch condition, covering all six variants.
+fn random_cond(rng: &mut SimRng) -> BranchCond {
+    match rng.index(6) {
+        0 => BranchCond::Compressed,
+        1 => BranchCond::Hit,
+        2 => BranchCond::Found,
+        3 => BranchCond::Exception,
+        4 => BranchCond::CacheCompressed,
+        _ => BranchCond::Custom {
+            mask: rng.index(256) as u8,
+            expect: rng.index(256) as u8,
+        },
+    }
+}
+
+/// Random forward target for a transfer at slot `i` in a `len`-slot
+/// trace: validation requires `i < target <= len`, and `max_target`
+/// additionally caps the reach (15 for directly-packable traces, small
+/// values to keep splits feasible).
+fn random_target(rng: &mut SimRng, i: usize, len: usize, max_target: usize) -> u8 {
+    let lo = i + 1;
+    let hi = len.min(max_target);
+    debug_assert!(lo <= hi);
+    (lo + rng.index(hi - lo + 1)) as u8
+}
+
+/// One random slot at index `i`. Control transfers only appear where a
+/// legal target exists.
+fn random_slot(rng: &mut SimRng, i: usize, len: usize, max_target: usize) -> Slot {
+    let can_transfer = i < len.min(max_target);
+    loop {
+        match rng.index(10) {
+            0..=4 => return Slot::Accel(AccelKind::from_id(rng.index(9) as u8).expect("ids 0-8")),
+            5 => return Slot::ToCpu,
+            6 => return Slot::ForkToCpu,
+            7 => {
+                let src = DataFormat::from_code(rng.index(5) as u8).expect("codes 0-4");
+                let dst = DataFormat::from_code(rng.index(5) as u8).expect("codes 0-4");
+                return Slot::Transform(Transform { src, dst });
+            }
+            8 => return Slot::NextTrace(AtmAddr(rng.index(CHAIN_BASE as usize) as u16)),
+            _ if can_transfer => {
+                if rng.chance(0.5) {
+                    return Slot::Branch {
+                        cond: random_cond(rng),
+                        on_true: random_target(rng, i, len, max_target),
+                        on_false: random_target(rng, i, len, max_target),
+                    };
+                }
+                return Slot::Jump(random_target(rng, i, len, max_target));
+            }
+            _ => {} // transfer drawn where none is legal: redraw
+        }
+    }
+}
+
+/// A random valid trace of `len` slots whose transfers stay within
+/// `max_target`.
+fn random_trace(rng: &mut SimRng, name: &str, len: usize, max_target: usize) -> Trace {
+    let slots = (0..len)
+        .map(|i| random_slot(rng, i, len, max_target))
+        .collect();
+    Trace::try_new(name, slots).expect("generator produces valid programs")
+}
+
+fn random_flags(rng: &mut SimRng) -> PayloadFlags {
+    PayloadFlags {
+        compressed: rng.chance(0.5),
+        hit: rng.chance(0.5),
+        found: rng.chance(0.5),
+        exception: rng.chance(0.5),
+        cache_compressed: rng.chance(0.5),
+        custom_field: rng.index(256) as u8,
+    }
+}
+
+/// `pack ∘ unpack == id` over 10k random directly-packable traces.
+#[test]
+fn roundtrip_identity_over_random_traces() {
+    let mut rng = SimRng::seed(0xF00D);
+    for case in 0..10_000u32 {
+        let len = 1 + rng.index(15);
+        let t = random_trace(&mut rng, &format!("fuzz{case}"), len, 15);
+        let bytes = pack(&t).unwrap_or_else(|e| panic!("case {case}: pack failed: {e}\n{t:?}"));
+        let back = unpack("back", &bytes)
+            .unwrap_or_else(|e| panic!("case {case}: unpack failed: {e}\n{t:?}"));
+        assert_eq!(back.slots(), t.slots(), "case {case} not a round trip");
+    }
+}
+
+/// Splits `t` repeatedly until every piece packs, verifying each piece
+/// round-trips, then re-executes the chain and compares the joined path
+/// against the original under random payload flags. Returns `false` if
+/// no safe cut exists (legitimate only when some transfer spans the
+/// window — asserted by brute force).
+fn check_split_chain(rng: &mut SimRng, t: &Trace, max_slots: usize) -> bool {
+    let mut pieces: Vec<Trace> = Vec::new();
+    let mut rest = t.clone();
+    let mut round = 0u16;
+    while rest.slots().len() > max_slots {
+        match split_for_packing(&rest, max_slots, AtmAddr(CHAIN_BASE + round)) {
+            Some((head, tail)) => {
+                assert!(head.slots().len() <= max_slots, "head exceeds the window");
+                assert!(tail.slots().len() < rest.slots().len(), "tail must shrink");
+                pieces.push(head);
+                rest = tail;
+                round += 1;
+            }
+            None => {
+                // Only legal when no cut keeps every transfer inside
+                // the head. Re-derive that from the slots directly.
+                let slots = rest.slots();
+                let limit = (max_slots - 1).min(slots.len() - 1);
+                for c in 1..=limit {
+                    let safe = slots[..c].iter().all(|s| match s {
+                        Slot::Branch {
+                            on_true, on_false, ..
+                        } => (*on_true as usize) <= c && (*on_false as usize) <= c,
+                        Slot::Jump(t) => (*t as usize) <= c,
+                        _ => true,
+                    });
+                    assert!(!safe, "split declined but cut {c} was safe: {slots:?}");
+                }
+                return false;
+            }
+        }
+    }
+    pieces.push(rest);
+
+    // Every piece must survive the encoding round trip.
+    for (i, piece) in pieces.iter().enumerate() {
+        let bytes = pack(piece).unwrap_or_else(|e| panic!("piece {i}: pack failed: {e}"));
+        let back = unpack("piece", &bytes).unwrap_or_else(|e| panic!("piece {i}: {e}"));
+        assert_eq!(back.slots(), piece.slots(), "piece {i} not a round trip");
+    }
+
+    // Execute the chain: follow each piece's resolved path; a trailing
+    // Chain(addr) hands off to the piece the split registered at that
+    // address (piece k+1 was chained at AtmAddr(k)).
+    for _ in 0..4 {
+        let flags = random_flags(rng);
+        let mut joined: Vec<PathStep> = Vec::new();
+        let mut at = 0usize;
+        loop {
+            let mut path = pieces[at].resolve_path(&flags);
+            match path.last() {
+                Some(PathStep::Chain(addr))
+                    if addr.0 >= CHAIN_BASE && ((addr.0 - CHAIN_BASE) as usize) == at =>
+                {
+                    assert!(
+                        at + 1 < pieces.len(),
+                        "chain link points past the last piece"
+                    );
+                    path.pop();
+                    joined.extend(path);
+                    at += 1;
+                }
+                _ => {
+                    joined.extend(path);
+                    break;
+                }
+            }
+        }
+        assert_eq!(
+            joined,
+            t.resolve_path(&flags),
+            "chained path diverges under {flags:?}\npieces: {pieces:?}"
+        );
+    }
+    true
+}
+
+/// Random long traces split into ATM chains: each piece round-trips and
+/// the chained execution path matches the original.
+#[test]
+fn split_chains_preserve_paths_over_random_traces() {
+    let mut rng = SimRng::seed(0xCAFE);
+    let mut split_ok = 0u32;
+    for case in 0..2_000u32 {
+        let len = 16 + rng.index(45);
+        let slots: Vec<Slot> = (0..len)
+            .map(|i| {
+                // Short transfer reach keeps most traces splittable.
+                let reach = (i + 2 + rng.index(4)).min(len);
+                random_slot(&mut rng, i, len, reach)
+            })
+            .collect();
+        let t = Trace::try_new(format!("chain{case}"), slots).expect("valid");
+        if check_split_chain(&mut rng, &t, 15) {
+            split_ok += 1;
+        }
+    }
+    assert!(
+        split_ok > 1_500,
+        "only {split_ok}/2000 traces admitted safe cuts — generator degenerated"
+    );
+}
+
+/// The split-bug regression shape, fuzzed: the first slot is a branch
+/// whose true arm targets slot 1 (so slot 1 is a branch target) and
+/// whose false arm lands a random short distance ahead.
+#[test]
+fn split_chains_with_leading_branch_target() {
+    let mut rng = SimRng::seed(0xBEA7);
+    let mut split_ok = 0u32;
+    for case in 0..1_000u32 {
+        let len = 16 + rng.index(30);
+        let reach = 2 + rng.index(10);
+        let mut slots = vec![Slot::Branch {
+            cond: random_cond(&mut rng),
+            on_true: 1,
+            on_false: random_target(&mut rng, 0, len, reach),
+        }];
+        slots.extend((1..len).map(|i| {
+            let max_target = (i + 2 + rng.index(4)).min(len);
+            random_slot(&mut rng, i, len, max_target)
+        }));
+        let t = Trace::try_new(format!("lead{case}"), slots).expect("valid");
+        if check_split_chain(&mut rng, &t, 15) {
+            split_ok += 1;
+        }
+    }
+    assert!(
+        split_ok > 800,
+        "only {split_ok}/1000 leading-branch traces admitted safe cuts"
+    );
+}
