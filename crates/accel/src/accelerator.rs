@@ -215,6 +215,17 @@ impl Accelerator {
     pub fn busy_pes(&self) -> usize {
         self.pes.iter().filter(|p| p.busy).count()
     }
+
+    /// Number of processing elements.
+    pub fn pe_count(&self) -> usize {
+        self.pes.len()
+    }
+
+    /// Cumulative PE busy time (sum over PEs). Windowed utilization
+    /// samplers difference this between sampling instants.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy.busy()
+    }
 }
 
 #[cfg(test)]

@@ -8,6 +8,7 @@ use accelflow_sim::engine::{EventQueue, Model, Simulation};
 use accelflow_sim::resource::ServerPool;
 use accelflow_sim::rng::SimRng;
 use accelflow_sim::stats::Histogram;
+use accelflow_sim::telemetry::{CompId, Telemetry};
 use accelflow_sim::time::{SimDuration, SimTime};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -37,6 +38,53 @@ fn bench_event_queue(c: &mut Criterion) {
             sim.run();
             black_box(sim.now())
         })
+    });
+}
+
+/// The Churn model instrumented exactly the way `Machine` is: an
+/// `Option<Box<Telemetry>>` field checked once per event, with the
+/// record constructed inside the branch. Against the bare
+/// `engine/100k_events` baseline, the `_off` variant measures the full
+/// disabled-path tax (one `None` check per event) — the acceptance bar
+/// is under 1%.
+struct ChurnTelemetry {
+    left: u64,
+    tel: Option<Box<Telemetry>>,
+}
+
+impl Model for ChurnTelemetry {
+    type Event = u32;
+    fn handle(&mut self, now: SimTime, ev: u32, queue: &mut EventQueue<u32>) {
+        if let Some(t) = self.tel.as_mut() {
+            t.span(
+                now,
+                CompId::accelerator((ev % 9) as u16),
+                "pe",
+                SimDuration::from_nanos(u64::from(ev % 97) + 1),
+                Some(ev),
+                0,
+            );
+        }
+        if self.left > 0 {
+            self.left -= 1;
+            queue.schedule(
+                SimDuration::from_nanos(u64::from(ev % 97) + 1),
+                ev.wrapping_add(1),
+            );
+        }
+    }
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let run = |tel: Option<Box<Telemetry>>| {
+        let mut sim = Simulation::new(ChurnTelemetry { left: 100_000, tel });
+        sim.queue_mut().schedule(SimDuration::ZERO, 1);
+        sim.run();
+        black_box(sim.now())
+    };
+    c.bench_function("telemetry/100k_events_off", |b| b.iter(|| run(None)));
+    c.bench_function("telemetry/100k_events_on", |b| {
+        b.iter(|| run(Some(Box::new(Telemetry::new(1 << 18)))))
     });
 }
 
@@ -154,6 +202,7 @@ fn bench_server_pool(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_event_queue,
+    bench_telemetry_overhead,
     bench_schedule_pop,
     bench_histogram,
     bench_rng,

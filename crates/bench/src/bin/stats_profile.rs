@@ -1,0 +1,144 @@
+//! Replays the paper's headline workload shapes with telemetry on and
+//! writes a Perfetto-loadable Chrome trace plus a per-component
+//! latency-breakdown table for each.
+//!
+//! Two runs, mirroring `stats_audit`:
+//!
+//! 1. Fig 11 shape: the eight SocialNetwork services under bursty
+//!    Alibaba-like arrivals, AccelFlow policy.
+//! 2. Fig 14 shape: fixed-load Poisson with per-request SLO slack,
+//!    AccelFlow-Deadline policy.
+//!
+//! Each run validates its own exported JSON against the Chrome
+//! `trace_event` schema before writing it; a malformed trace exits
+//! non-zero so CI can gate on the exporter. Traces land in
+//! `results/trace_fig11.json` and `results/trace_fig14.json` — open
+//! them at <https://ui.perfetto.dev>. Scale via `ACCELFLOW_DURATION_MS`
+//! / `ACCELFLOW_RPS` / `ACCELFLOW_SEED` as usual.
+
+use accelflow_bench::harness::{self, Scale};
+use accelflow_bench::table::{us, Table};
+use accelflow_core::machine::{Machine, MachineConfig};
+use accelflow_core::policy::Policy;
+use accelflow_core::stats::RunReport;
+use accelflow_sim::telemetry::validate_chrome_trace;
+use accelflow_workloads::socialnetwork;
+
+/// Sparkline ramp, dimmest to brightest.
+const RAMP: &[char] = &['.', ':', '-', '=', '+', '*', '#', '@'];
+
+fn print_profile(label: &str, path: &str, report: &RunReport) -> bool {
+    let tel = &report.telemetry;
+    println!(
+        "\n=== {label}: {} completed, {} telemetry records ({} dropped) ===",
+        report.completed(),
+        tel.records.len(),
+        tel.dropped,
+    );
+
+    // Per-component latency breakdown, busiest first.
+    let mut t = Table::new(
+        format!("{label}: per-component busy-time breakdown"),
+        &[
+            "component",
+            "spans",
+            "busy (us)",
+            "mean (us)",
+            "p99 (us)",
+            "max (us)",
+        ],
+    );
+    for row in tel.component_breakdown() {
+        t.row(&[
+            row.label.clone(),
+            row.spans.to_string(),
+            us(row.busy),
+            us(row.mean),
+            us(row.p99),
+            us(row.max),
+        ]);
+    }
+    t.print();
+
+    // Textual timeline: one sparkline per utilization column, plus the
+    // DMA-engine and live-request counters.
+    if let (Some((first, _)), Some((last, _))) = (tel.samples.first(), tel.samples.last()) {
+        println!(
+            "timeline ({} samples, {} .. {}):",
+            tel.samples.len(),
+            first,
+            last
+        );
+    }
+    let interesting =
+        |name: &str| name.starts_with("util%:") || name == "busy_dma" || name == "live_reqs";
+    for (i, name) in tel.columns.iter().enumerate() {
+        if !interesting(name) {
+            continue;
+        }
+        let peak = tel.samples.iter().map(|(_, row)| row[i]).max().unwrap_or(0);
+        if peak == 0 {
+            continue; // nothing to draw
+        }
+        println!("  {:<12} |{}| peak {}", name, tel.sparkline(i, RAMP), peak);
+    }
+
+    // Validate before writing: a trace that fails the schema check is a
+    // bug in the exporter, not a bad run.
+    let json = tel.chrome_trace();
+    match validate_chrome_trace(&json) {
+        Ok(summary) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                println!("  FAILED to write {path}: {e}");
+                return false;
+            }
+            println!(
+                "wrote {path}: {} events ({} spans, {} counters, {} instants, {} flow arrows)",
+                summary.events, summary.spans, summary.counters, summary.instants, summary.flows,
+            );
+            true
+        }
+        Err(e) => {
+            println!("  INVALID chrome trace for {label}: {e}");
+            false
+        }
+    }
+}
+
+fn main() {
+    let services = socialnetwork::all();
+    let scale = Scale::from_env();
+    std::fs::create_dir_all("results").expect("create results/");
+    let mut ok = true;
+
+    // Fig 11 shape: shared bursty arrivals, AccelFlow.
+    let arrivals = harness::shared_arrivals(&services, scale);
+    println!(
+        "fig11 shape: {} arrivals over {} at {} rps/service, telemetry on",
+        arrivals.len(),
+        scale.duration,
+        scale.rps
+    );
+    let mut cfg = harness::machine_config(Policy::AccelFlow, scale);
+    cfg.telemetry = true;
+    let report = Machine::run_arrivals(&cfg, &services, arrivals, scale.duration, scale.seed);
+    ok &= print_profile("fig11/AccelFlow", "results/trace_fig11.json", &report);
+
+    // Fig 14 shape: Poisson with SLO deadlines, AccelFlow-Deadline.
+    let mut slo_services = services.clone();
+    for s in &mut slo_services {
+        s.slo_slack = Some(5.0);
+    }
+    let mut cfg = MachineConfig::new(Policy::AccelFlowDeadline);
+    cfg.warmup = scale.warmup;
+    cfg.telemetry = true;
+    let report = Machine::run_workload(&cfg, &slo_services, scale.rps, scale.duration, scale.seed);
+    ok &= print_profile("fig14/AccelFlow-DL", "results/trace_fig14.json", &report);
+
+    if ok {
+        println!("\nboth traces schema-valid; load them at https://ui.perfetto.dev");
+    } else {
+        println!("\ntrace export failed");
+        std::process::exit(1);
+    }
+}

@@ -455,6 +455,7 @@ mod slo_tests {
             measured: SimDuration::from_millis(10),
             ended_at: SimTime::ZERO + SimDuration::from_millis(10),
             audit: accelflow_core::audit::AuditReport::disabled(),
+            telemetry: accelflow_sim::telemetry::TelemetryReport::disabled(),
         }
     }
 
@@ -507,6 +508,7 @@ mod slo_tests {
             measured: SimDuration::ZERO,
             ended_at: SimTime::ZERO,
             audit: accelflow_core::audit::AuditReport::disabled(),
+            telemetry: accelflow_sim::telemetry::TelemetryReport::disabled(),
         };
         assert_eq!(avg_p99(&empty), 0.0);
         assert_eq!(avg_mean(&empty), 0.0);

@@ -20,6 +20,19 @@
 //!   state transition (request/call conservation, queue bounds,
 //!   monotonicity, ATM chain termination); always on in debug builds,
 //!   opt-in via the `audit` feature for release runs.
+//!
+//! Two observability layers ride along with the machine, both gated so
+//! the disabled hot path costs a single branch:
+//!
+//! | Layer | Runtime switch | Cargo feature | Debug default |
+//! |-------|----------------|---------------|---------------|
+//! | invariant audit | [`MachineConfig::audit`] | `audit` | on |
+//! | telemetry | [`MachineConfig::telemetry`] | `telemetry` | off |
+//!
+//! Telemetry records land in
+//! [`RunReport::telemetry`](stats::RunReport::telemetry) and export to
+//! a Perfetto-loadable Chrome trace; `docs/METRICS.md` defines every
+//! metric and record, and DESIGN.md §7 describes the machinery.
 
 pub mod audit;
 pub mod machine;

@@ -40,6 +40,7 @@ use accelflow_arch::topology::{ChipletLayout, Endpoint, UnitId};
 use accelflow_sim::engine::{EventQueue, Model, Simulation};
 use accelflow_sim::resource::ServerPool;
 use accelflow_sim::rng::SimRng;
+use accelflow_sim::telemetry::{CompId, Sampler, Telemetry, TelemetryReport};
 use accelflow_sim::time::{SimDuration, SimTime};
 use accelflow_trace::kind::AccelKind;
 use accelflow_trace::templates::TraceLibrary;
@@ -81,6 +82,21 @@ pub struct MachineConfig {
     /// the event loop. Defaults to on in debug builds and under the
     /// `audit` cargo feature; costs a constant-factor slowdown.
     pub audit: bool,
+    /// Capture structured telemetry (per-component spans, instants,
+    /// counters and windowed utilization samples) for Chrome-trace
+    /// export and latency breakdowns. Off by default — including in
+    /// debug builds, unlike `audit` — because the record stream costs
+    /// memory and time; the `telemetry` cargo feature flips the
+    /// default on. See `docs/METRICS.md` for every emitted record.
+    pub telemetry: bool,
+    /// Telemetry ring capacity in records; on overflow the oldest
+    /// records are dropped and counted in the report's
+    /// `dropped` field (the tail of a run is kept).
+    pub telemetry_capacity: usize,
+    /// Sampling window for the telemetry time series (utilization,
+    /// queue occupancy, tenant-slot pressure). Sampling piggybacks on
+    /// event delivery, so it never perturbs the event sequence.
+    pub telemetry_sample: SimDuration,
 }
 
 impl MachineConfig {
@@ -99,6 +115,9 @@ impl MachineConfig {
             instances_per_accel: 1,
             sample_latencies: false,
             audit: cfg!(any(debug_assertions, feature = "audit")),
+            telemetry: cfg!(feature = "telemetry"),
+            telemetry_capacity: 1 << 18,
+            telemetry_sample: SimDuration::from_micros(50),
         }
     }
 
@@ -297,6 +316,17 @@ struct SharedJob {
     kind: AccelKind,
 }
 
+/// Telemetry capture state, boxed behind an `Option` so the disabled
+/// hot path pays one `None` check per emission site.
+struct TelState {
+    sink: Telemetry,
+    sampler: Sampler,
+    /// Cumulative per-station busy picoseconds at the previous sample,
+    /// differenced into windowed utilization.
+    prev_busy: Vec<u64>,
+    prev_at: SimTime,
+}
+
 /// The simulated server.
 pub struct Machine {
     cfg: MachineConfig,
@@ -324,6 +354,7 @@ pub struct Machine {
     app_factor: f64,
     live: u64,
     auditor: Option<crate::audit::Auditor>,
+    tel: Option<Box<TelState>>,
 }
 
 impl Machine {
@@ -356,7 +387,7 @@ impl Machine {
             (1..=16).contains(&instances),
             "instances_per_accel must be within 1..=16"
         );
-        let accels = AccelKind::ALL
+        let accels: Vec<Accelerator> = AccelKind::ALL
             .iter()
             .flat_map(|&k| {
                 // Instances of a kind share the kind's mesh placement.
@@ -372,6 +403,35 @@ impl Machine {
         let auditor = cfg
             .audit
             .then(|| crate::audit::Auditor::new(arrivals.len(), lib.atm()));
+        let tel = cfg.telemetry.then(|| {
+            let mut sink = Telemetry::new(cfg.telemetry_capacity);
+            for (i, acc) in accels.iter().enumerate() {
+                sink.set_label(
+                    CompId::accelerator(i as u16),
+                    format!("{}#{}", acc.kind().name(), i % instances),
+                );
+            }
+            sink.set_label(CompId::MACHINE, "machine");
+            sink.set_label(CompId::DMA, "A-DMA");
+            sink.set_label(CompId::MANAGER, "manager");
+            sink.set_label(CompId::ATM, "ATM");
+            let mut columns = Vec::new();
+            for kind in AccelKind::ALL {
+                columns.push(format!("util%:{}", kind.name()));
+            }
+            for kind in AccelKind::ALL {
+                columns.push(format!("queue:{}", kind.name()));
+            }
+            columns.push("busy_dma".into());
+            columns.push("tenant_slots".into());
+            columns.push("live_reqs".into());
+            Box::new(TelState {
+                sink,
+                sampler: Sampler::new(cfg.telemetry_sample, columns),
+                prev_busy: vec![0; accels.len()],
+                prev_at: SimTime::ZERO,
+            })
+        });
         Machine {
             cfg,
             timing,
@@ -395,6 +455,7 @@ impl Machine {
             app_factor,
             live: 0,
             auditor,
+            tel,
         }
     }
 
@@ -484,12 +545,20 @@ impl Machine {
                 audit.violation_count, audit.violations
             );
         }
+        let telemetry = match self.tel.take() {
+            Some(t) => {
+                let t = *t;
+                t.sink.into_report_with_samples(t.sampler)
+            }
+            None => TelemetryReport::disabled(),
+        };
         RunReport {
             per_service: self.stats,
             totals: self.totals,
             measured: end.saturating_since(self.warmup_end),
             ended_at: now,
             audit,
+            telemetry,
         }
     }
 
@@ -553,6 +622,90 @@ impl Machine {
         SimDuration::from_picos(self.cfg.arch.dispatcher_cycle.as_picos() * instrs as u64)
     }
 
+    // ----- telemetry hooks -----
+
+    #[inline]
+    fn tel_span(
+        &mut self,
+        at: SimTime,
+        comp: CompId,
+        name: &'static str,
+        dur: SimDuration,
+        req: u32,
+        arg: u64,
+    ) {
+        if let Some(t) = self.tel.as_mut() {
+            t.sink.span(at, comp, name, dur, Some(req), arg);
+        }
+    }
+
+    #[inline]
+    fn tel_instant(&mut self, at: SimTime, comp: CompId, name: &'static str, req: u32) {
+        if let Some(t) = self.tel.as_mut() {
+            t.sink.instant(at, comp, name, Some(req));
+        }
+    }
+
+    /// Captures one row of the telemetry time series when a sampling
+    /// window has elapsed. Called from `handle` on event delivery (not
+    /// from scheduled events), so enabling telemetry cannot change the
+    /// model's event sequence — determinism is preserved bit-for-bit.
+    fn sample_telemetry(&mut self, now: SimTime) {
+        let Machine {
+            tel,
+            accels,
+            dma,
+            cfg,
+            tenant_active,
+            live,
+            ..
+        } = self;
+        let Some(t) = tel.as_mut() else { return };
+        if !t.sampler.due(now) {
+            return;
+        }
+        let window = now.saturating_since(t.prev_at).as_picos();
+        let instances = cfg.instances_per_accel;
+        let mut values = Vec::with_capacity(t.sampler.columns().len());
+        // Windowed per-kind PE utilization, in percent.
+        for kind in 0..AccelKind::COUNT {
+            let mut delta = 0u64;
+            let mut pes = 0u64;
+            let range = kind * instances..(kind + 1) * instances;
+            for (acc, prev) in accels[range.clone()].iter().zip(&mut t.prev_busy[range]) {
+                let busy = acc.busy_time().as_picos();
+                delta += busy - *prev;
+                *prev = busy;
+                pes += acc.pe_count() as u64;
+            }
+            values.push((delta * 100).checked_div(window * pes).unwrap_or(0));
+        }
+        // Instantaneous per-kind input-queue occupancy (incl. overflow).
+        for kind in 0..AccelKind::COUNT {
+            let backlog: u64 = (kind * instances..(kind + 1) * instances)
+                .map(|i| accels[i].input().backlog() as u64)
+                .sum();
+            values.push(backlog);
+        }
+        values.push(dma.busy_engines(now) as u64);
+        values.push(tenant_active.iter().map(|&n| n as u64).sum());
+        values.push(*live);
+        // Mirror the headline series as counter records so the Chrome
+        // timeline carries them too.
+        let occupancy: u64 = values[AccelKind::COUNT..2 * AccelKind::COUNT].iter().sum();
+        t.sink.counter(now, CompId::MACHINE, "live_reqs", *live);
+        t.sink.counter(
+            now,
+            CompId::DMA,
+            "busy_engines",
+            values[2 * AccelKind::COUNT],
+        );
+        t.sink
+            .counter(now, CompId::MACHINE, "queued_entries", occupancy);
+        t.sampler.push_row(now, values);
+        t.prev_at = now;
+    }
+
     // ----- event handlers -----
 
     fn on_arrive(&mut self, now: SimTime, idx: u32, queue: &mut EventQueue<Ev>) {
@@ -592,6 +745,7 @@ impl Machine {
         if let Some(aud) = self.auditor.as_mut() {
             aud.record_admit(now, idx, measured);
         }
+        self.tel_instant(now, CompId::MACHINE, "arrive", idx);
         queue.schedule(SimDuration::ZERO, Ev::StartStep(idx));
     }
 
@@ -675,6 +829,7 @@ impl Machine {
         let active = self.tenant_active.get(idx).copied().unwrap_or(0);
         if active as usize >= self.cfg.tenant_cap {
             self.totals.tenant_throttled += 1;
+            self.tel_instant(now, CompId::MACHINE, "tenant_throttle", addr.req);
             queue.schedule(SimDuration::from_micros(5), Ev::HopArriveRetry(addr));
             return;
         }
@@ -741,6 +896,14 @@ impl Machine {
             self.energy.add_noc_bytes(bytes);
             let comm = booking.finish.saturating_since(start);
             self.charge(addr.req, |bd| bd.communication += comm);
+            self.tel_span(
+                booking.start,
+                CompId::DMA,
+                "dma",
+                booking.finish.saturating_since(booking.start),
+                addr.req,
+                bytes,
+            );
             queue.schedule_at(booking.finish, Ev::HopArrive(addr));
         }
     }
@@ -812,6 +975,7 @@ impl Machine {
                 // Starvation/deadlock escape (§IV-A): fall back to CPU
                 // for the rest of the segment.
                 self.totals.fallbacks += 1;
+                self.tel_instant(now, CompId::MACHINE, "fallback", addr.req);
                 self.fallback_segment(now, addr, queue);
             }
         }
@@ -928,6 +1092,7 @@ impl Machine {
                     .acquire(now + self.cfg.arch.manager_latency, occupancy);
                 let wait = b.finish.saturating_since(now);
                 self.charge(addr.req, |bd| bd.orchestration += wait);
+                self.tel_span(b.start, CompId::MANAGER, "manager", occupancy, addr.req, 0);
                 load += wait;
             }
         }
@@ -965,6 +1130,18 @@ impl Machine {
             b.communication += load + tlb_lat;
             b.orchestration += wipe + fault;
         });
+        let station = CompId::accelerator(accel_idx as u16);
+        self.tel_span(
+            now,
+            station,
+            "pe",
+            busy,
+            addr.req,
+            started.queueing.as_picos(),
+        );
+        if started.tenant_wipe {
+            self.tel_instant(now, station, "tenant_wipe", addr.req);
+        }
         queue.schedule(
             busy,
             Ev::PeDone {
@@ -994,11 +1171,13 @@ impl Machine {
         if self.req_gone(addr.req) {
             return;
         }
-        self.after_hop(now, addr, queue);
+        self.after_hop(now, addr, accel, queue);
     }
 
-    /// The policy-defining transition after a completed hop.
-    fn after_hop(&mut self, now: SimTime, addr: CallAddr, queue: &mut EventQueue<Ev>) {
+    /// The policy-defining transition after a completed hop. `accel` is
+    /// the station whose output dispatcher runs the transition (only
+    /// telemetry attribution uses it).
+    fn after_hop(&mut self, now: SimTime, addr: CallAddr, accel: u8, queue: &mut EventQueue<Ev>) {
         #[derive(Clone, Copy)]
         struct HopInfo {
             kind: AccelKind,
@@ -1047,6 +1226,14 @@ impl Machine {
                 self.totals.dispatches += 1;
                 self.energy.add_dispatcher_instrs(info.glue_instrs as u64);
                 self.charge(addr.req, |b| b.orchestration += td);
+                self.tel_span(
+                    t,
+                    CompId::accelerator(accel as u16),
+                    "glue",
+                    td,
+                    addr.req,
+                    info.glue_instrs as u64,
+                );
                 t += td;
                 // Ablation rungs bounce unresolved work to the manager.
                 let needs_manager_branch =
@@ -1060,6 +1247,14 @@ impl Machine {
                         .acquire(after_irq, self.cfg.arch.manager_fallback_time);
                     let spent = b.finish.saturating_since(t);
                     self.charge(addr.req, |bd| bd.orchestration += spent);
+                    self.tel_span(
+                        b.start,
+                        CompId::MANAGER,
+                        "manager",
+                        self.cfg.arch.manager_fallback_time,
+                        addr.req,
+                        0,
+                    );
                     t = b.finish;
                 }
             }
@@ -1073,6 +1268,14 @@ impl Machine {
                 let spent = b.finish.saturating_since(t);
                 self.charge(addr.req, |bd| bd.orchestration += spent);
                 self.totals.manager_busy += self.cfg.arch.manager_service_time;
+                self.tel_span(
+                    b.start,
+                    CompId::MANAGER,
+                    "manager",
+                    self.cfg.arch.manager_service_time,
+                    addr.req,
+                    0,
+                );
                 t = b.finish;
             }
             Policy::CpuCentric => {
@@ -1155,6 +1358,14 @@ impl Machine {
                     self.energy.add_noc_bytes(info.out_bytes);
                     let comm = booking.finish.saturating_since(t);
                     self.charge(addr.req, |b| b.communication += comm);
+                    self.tel_span(
+                        booking.start,
+                        CompId::DMA,
+                        "dma",
+                        booking.finish.saturating_since(booking.start),
+                        addr.req,
+                        info.out_bytes,
+                    );
                     booking.finish
                 }
             };
@@ -1177,6 +1388,14 @@ impl Machine {
                 let booking = self.dma.transfer_with_service(t, service, info.out_bytes);
                 self.bus.stream(t, info.out_bytes / 2);
                 self.energy.add_dma_bytes(info.out_bytes);
+                self.tel_span(
+                    booking.start,
+                    CompId::DMA,
+                    "dma",
+                    booking.finish.saturating_since(booking.start),
+                    addr.req,
+                    info.out_bytes,
+                );
                 let notify = self.cfg.arch.notification_latency();
                 let done_at = booking.finish + notify;
                 let comm = done_at.saturating_since(t);
@@ -1202,6 +1421,7 @@ impl Machine {
                 // forwards to the next segment's first accelerator.
                 self.totals.atm_reads += 1;
                 let _ = self.lib.atm_mut().load(accelflow_trace::atm::AtmAddr(0));
+                self.tel_instant(t, CompId::ATM, "atm_read", addr.req);
                 let t2 = t + self.cfg.arch.atm_read_latency;
                 let next_addr = CallAddr {
                     seg: addr.seg + 1,
@@ -1221,6 +1441,7 @@ impl Machine {
                 if policy.direct_transfers() && policy != Policy::Ideal {
                     self.totals.atm_reads += 1;
                     let _ = self.lib.atm_mut().load(accelflow_trace::atm::AtmAddr(0));
+                    self.tel_instant(t, CompId::ATM, "atm_read", addr.req);
                 }
                 let next_addr = CallAddr {
                     seg: addr.seg + 1,
@@ -1228,6 +1449,14 @@ impl Machine {
                     ..addr
                 };
                 self.charge(addr.req, |b| b.external += external);
+                self.tel_span(
+                    t,
+                    CompId::MACHINE,
+                    "external",
+                    external.min(self.cfg.tcp_timeout),
+                    addr.req,
+                    0,
+                );
                 if external >= self.cfg.tcp_timeout {
                     queue.schedule_at(
                         t + self.cfg.tcp_timeout,
@@ -1378,6 +1607,7 @@ impl Machine {
             return;
         }
         self.totals.tcp_timeouts += 1;
+        self.tel_instant(now, CompId::MACHINE, "timeout", req);
         // The core terminates the request (§IV-B).
         let handling = self.cfg.arch.cycles(self.cfg.arch.pickup_cycles);
         self.cores.acquire(now, handling);
@@ -1411,6 +1641,7 @@ impl Machine {
                 aud.record_call_end(now, leftover);
             }
         }
+        self.tel_instant(now, CompId::MACHINE, "done", req);
         let r = self.requests[req as usize].as_mut().expect("request alive");
         let latency = now.saturating_since(r.arrival);
         if r.measured {
@@ -1500,6 +1731,9 @@ impl Model for Machine {
     type Event = Ev;
 
     fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+        if self.tel.is_some() {
+            self.sample_telemetry(now);
+        }
         self.audit_pre_event(now);
         match event {
             Ev::Arrive(idx) => self.on_arrive(now, idx, queue),

@@ -196,6 +196,13 @@ pub struct RunReport {
     pub ended_at: SimTime,
     /// Invariant-audit outcome (empty/clean when auditing was off).
     pub audit: crate::audit::AuditReport,
+    /// Captured telemetry: component-keyed records, track labels, and
+    /// windowed utilization samples (empty/inert when telemetry was
+    /// off). Render with
+    /// [`chrome_trace`](accelflow_sim::telemetry::TelemetryReport::chrome_trace)
+    /// or
+    /// [`component_breakdown`](accelflow_sim::telemetry::TelemetryReport::component_breakdown).
+    pub telemetry: accelflow_sim::telemetry::TelemetryReport,
 }
 
 impl RunReport {
@@ -316,6 +323,7 @@ mod tests {
             measured: SimDuration::from_millis(1),
             ended_at: SimTime::ZERO + SimDuration::from_millis(1),
             audit: crate::audit::AuditReport::disabled(),
+            telemetry: accelflow_sim::telemetry::TelemetryReport::disabled(),
         };
         assert_eq!(report.completed(), 2);
         assert_eq!(report.offered(), 3);

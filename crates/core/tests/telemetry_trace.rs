@@ -1,0 +1,158 @@
+//! Golden tests for the telemetry layer: the Chrome-trace export of a
+//! small deterministic workload must be schema-valid, structurally
+//! complete (spans, counters, flow arrows, labeled tracks), and
+//! byte-identical across runs with the same seed.
+
+use accelflow_core::machine::{Machine, MachineConfig};
+use accelflow_core::policy::Policy;
+use accelflow_core::request::{CallSpec, CyclesDist, ServiceSpec, StageSpec};
+use accelflow_core::stats::RunReport;
+use accelflow_sim::telemetry::{validate_chrome_trace, CompKind, RecordKind};
+use accelflow_sim::time::SimDuration;
+use accelflow_trace::templates::TemplateId;
+
+fn service() -> ServiceSpec {
+    ServiceSpec::new(
+        "TelemetryProbe",
+        vec![
+            StageSpec::Call(CallSpec::new(TemplateId::T1)),
+            StageSpec::Cpu(CyclesDist::new(30_000.0, 0.2)),
+            StageSpec::Call(CallSpec::new(TemplateId::T4)),
+            StageSpec::Call(CallSpec::new(TemplateId::T2)),
+        ],
+    )
+}
+
+fn run(seed: u64) -> RunReport {
+    let mut cfg = MachineConfig::new(Policy::AccelFlow);
+    cfg.warmup = SimDuration::from_millis(1);
+    cfg.telemetry = true;
+    cfg.telemetry_sample = SimDuration::from_micros(100);
+    Machine::run_workload(
+        &cfg,
+        &[service()],
+        800.0,
+        SimDuration::from_millis(10),
+        seed,
+    )
+}
+
+#[test]
+fn export_is_schema_valid_and_structurally_complete() {
+    let report = run(7);
+    let tel = &report.telemetry;
+    assert!(tel.enabled);
+    assert!(!tel.records.is_empty(), "a loaded run must emit records");
+    assert_eq!(tel.dropped, 0, "small run must fit the default ring");
+    assert_eq!(tel.emitted, tel.records.len() as u64);
+
+    let json = report.telemetry.chrome_trace();
+    let summary = validate_chrome_trace(&json).expect("schema-valid trace");
+    assert!(summary.spans > 0, "PE/DMA work must appear as spans");
+    assert!(summary.counters > 0, "sampler must add counter events");
+    assert!(summary.instants > 0, "arrivals/completions are instants");
+    assert!(
+        summary.flows > 0,
+        "multi-span requests must chain flow arrows"
+    );
+    assert!(summary.metadata > 2, "process + per-track thread names");
+
+    // Every hardware component class that did work got a track label.
+    for label in ["TCP#0", "A-DMA", "ATM", "machine"] {
+        assert!(json.contains(label), "missing track label {label}");
+    }
+}
+
+#[test]
+fn export_is_byte_identical_across_runs_with_same_seed() {
+    let a = run(42).telemetry.chrome_trace();
+    let b = run(42).telemetry.chrome_trace();
+    assert_eq!(a, b, "same seed must reproduce the trace byte-for-byte");
+    let c = run(43).telemetry.chrome_trace();
+    assert_ne!(a, c, "a different seed must actually change the run");
+}
+
+#[test]
+fn records_cover_the_expected_component_classes() {
+    let report = run(7);
+    let kinds: std::collections::BTreeSet<CompKind> = report
+        .telemetry
+        .records
+        .iter()
+        .map(|r| r.comp.kind)
+        .collect();
+    for k in [
+        CompKind::Machine,
+        CompKind::Accelerator,
+        CompKind::Dma,
+        CompKind::Atm,
+    ] {
+        assert!(kinds.contains(&k), "no records from {k:?}");
+    }
+    // PE spans carry their queueing time as the free argument.
+    assert!(report
+        .telemetry
+        .records
+        .iter()
+        .any(|r| r.name == "pe" && matches!(r.kind, RecordKind::Span { .. })));
+}
+
+#[test]
+fn component_breakdown_and_sampler_series_populate() {
+    let report = run(7);
+    let rows = report.telemetry.component_breakdown();
+    assert!(rows.len() >= 3, "accels + DMA at minimum, got {rows:?}");
+    for row in &rows {
+        assert!(row.spans > 0);
+        assert!(row.busy.as_picos() > 0);
+        assert!(row.max >= row.mean);
+    }
+    // Sampler rows exist and match the column layout.
+    assert!(!report.telemetry.columns.is_empty());
+    assert!(!report.telemetry.samples.is_empty());
+    for (_, row) in &report.telemetry.samples {
+        assert_eq!(row.len(), report.telemetry.columns.len());
+    }
+    let util_col = report
+        .telemetry
+        .column_index("util%:TCP")
+        .expect("TCP utilization column");
+    let spark = report.telemetry.sparkline(util_col, &['.', ':', '|', '#']);
+    assert_eq!(spark.chars().count(), report.telemetry.samples.len());
+}
+
+#[test]
+fn ring_overflow_is_surfaced_not_silent() {
+    let mut cfg = MachineConfig::new(Policy::AccelFlow);
+    cfg.warmup = SimDuration::from_millis(1);
+    cfg.telemetry = true;
+    cfg.telemetry_capacity = 64; // force overflow
+    let report = Machine::run_workload(&cfg, &[service()], 800.0, SimDuration::from_millis(10), 7);
+    let tel = &report.telemetry;
+    assert_eq!(tel.records.len(), 64, "ring keeps exactly its capacity");
+    assert!(tel.dropped > 0, "overflow must be counted");
+    assert_eq!(tel.emitted, tel.dropped + tel.records.len() as u64);
+    // The truncated trace still exports cleanly.
+    validate_chrome_trace(&tel.chrome_trace()).expect("valid despite drops");
+}
+
+#[test]
+fn disabled_telemetry_yields_inert_report_and_same_results() {
+    let mut cfg = MachineConfig::new(Policy::AccelFlow);
+    cfg.warmup = SimDuration::from_millis(1);
+    cfg.telemetry = false;
+    let off = Machine::run_workload(&cfg, &[service()], 800.0, SimDuration::from_millis(10), 7);
+    assert!(!off.telemetry.enabled);
+    assert!(off.telemetry.records.is_empty());
+    assert_eq!(off.telemetry.emitted, 0);
+
+    // Enabling telemetry must not change the simulation itself.
+    let on = run(7);
+    assert_eq!(off.completed(), on.completed());
+    assert_eq!(
+        off.aggregate_latency().percentile(99.0),
+        on.aggregate_latency().percentile(99.0)
+    );
+    assert_eq!(off.totals.dispatcher_instrs, on.totals.dispatcher_instrs);
+    assert_eq!(off.totals.dma_bytes, on.totals.dma_bytes);
+}

@@ -20,6 +20,9 @@
 //! - [`resource`] — helpers for modeling pools of identical servers
 //!   (DMA engines, processing elements, CPU cores).
 //! - [`trace_log`] — an event-tracing wrapper for debugging models.
+//! - [`telemetry`] — structured observability: component-keyed event
+//!   records, windowed time-series sampling, and a Chrome `trace_event`
+//!   exporter (see `docs/METRICS.md` for the metric glossary).
 //!
 //! # Example
 //!
@@ -52,14 +55,18 @@
 //! assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_nanos(45));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod resource;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace_log;
 
 pub use engine::{EventQueue, Model, Simulation};
 pub use rng::SimRng;
 pub use stats::Histogram;
+pub use telemetry::{CompId, CompKind, Record, RecordKind, Sampler, Telemetry, TelemetryReport};
 pub use time::{Frequency, SimDuration, SimTime};

@@ -529,6 +529,7 @@ mod tests {
 pub struct TimeSeries {
     bucket: SimDuration,
     data: Vec<Vec<u64>>,
+    clamped: u64,
 }
 
 impl TimeSeries {
@@ -548,6 +549,7 @@ impl TimeSeries {
         TimeSeries {
             bucket,
             data: vec![Vec::new(); buckets],
+            clamped: 0,
         }
     }
 
@@ -561,11 +563,24 @@ impl TimeSeries {
         self.bucket
     }
 
-    /// Records a sample at instant `at`.
+    /// Records a sample at instant `at`. Samples past the configured
+    /// span are folded into the last bucket and counted in
+    /// [`clamped`](TimeSeries::clamped).
     pub fn record(&mut self, at: SimTime, value: u64) {
         let idx = (at.as_picos() / self.bucket.as_picos()) as usize;
+        if idx >= self.data.len() {
+            self.clamped += 1;
+        }
         let idx = idx.min(self.data.len() - 1);
         self.data[idx].push(value);
+    }
+
+    /// Samples that fell past the configured span and were folded into
+    /// the last bucket. A non-zero value means that bucket mixes
+    /// in-window and out-of-window data — the distortion is counted
+    /// here rather than happening silently.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
     }
 
     /// Samples in bucket `i`.
@@ -641,6 +656,21 @@ mod timeseries_tests {
         let mut ts = series();
         ts.record(SimTime::ZERO + SimDuration::from_millis(99), 7);
         assert_eq!(ts.count(4), 1);
+    }
+
+    #[test]
+    fn overflow_clamps_are_counted_not_silent() {
+        // Regression: out-of-span samples used to fold into the last
+        // bucket with no trace that its data was distorted.
+        let mut ts = series();
+        ts.record(SimTime::ZERO + SimDuration::from_millis(2), 1);
+        assert_eq!(ts.clamped(), 0);
+        ts.record(SimTime::ZERO + SimDuration::from_millis(99), 7);
+        ts.record(SimTime::ZERO + SimDuration::from_millis(5), 8);
+        assert_eq!(ts.clamped(), 2, "both out-of-span samples counted");
+        // Landing exactly in the last bucket is not a clamp.
+        ts.record(SimTime::ZERO + SimDuration::from_micros(4_500), 9);
+        assert_eq!(ts.clamped(), 2);
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub struct Traced<M> {
     capacity: usize,
     enabled: bool,
     delivered: u64,
+    dropped: u64,
 }
 
 impl<M> Traced<M> {
@@ -79,6 +80,7 @@ impl<M> Traced<M> {
             capacity,
             enabled: true,
             delivered: 0,
+            dropped: 0,
         }
     }
 
@@ -117,6 +119,13 @@ impl<M> Traced<M> {
         self.delivered
     }
 
+    /// Entries evicted because the ring was full. A non-zero value
+    /// means [`log`](Traced::log) shows only the tail of the run —
+    /// the loss is counted here rather than happening silently.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Renders the log, one entry per line.
     pub fn dump(&self) -> String {
         let mut out = String::new();
@@ -139,6 +148,7 @@ where
         if self.enabled {
             if self.log.len() == self.capacity {
                 self.log.pop_front();
+                self.dropped += 1;
             }
             self.log.push_back(LogEntry {
                 at: now,
@@ -199,6 +209,16 @@ mod tests {
         let events: Vec<&str> = traced.log().iter().map(|e| e.event.as_str()).collect();
         assert_eq!(events, vec!["2", "1", "0"]);
         assert_eq!(traced.delivered(), 10);
+    }
+
+    #[test]
+    fn evictions_are_counted_not_silent() {
+        // Regression: overflow used to pop the oldest entry with no
+        // trace that anything was lost.
+        let traced = run_chain(3, 9);
+        assert_eq!(traced.dropped(), 7, "10 delivered, 3 kept");
+        let full_fit = run_chain(16, 4);
+        assert_eq!(full_fit.dropped(), 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ BINS="table01_connectivity table02_traces table03_params table04_paths \
       fig17_breakdown fig18_chiplets fig19_pes fig20_generations \
       sens_interchiplet sens_speedup sens_instances sens_overflow \
       ext_priority q2_branches \
-      stats_glue stats_utilization stats_energy stats_events stats_area diag_timeline export_csv"
+      stats_glue stats_utilization stats_energy stats_events stats_area stats_profile diag_timeline export_csv"
 cargo build --release -p accelflow-bench 2>/dev/null
 for b in $BINS; do
   echo "== running $b =="
