@@ -4,7 +4,8 @@
 //! violating the SLO", SLO = 5× the unloaded service execution time).
 
 use accelflow_accel::timing::ServiceTimeModel;
-use accelflow_core::machine::{Arrival, Machine, MachineConfig};
+use accelflow_core::arrivals::Arrival;
+use accelflow_core::machine::{Machine, MachineConfig};
 use accelflow_core::policy::Policy;
 use accelflow_core::request::ServiceSpec;
 use accelflow_core::stats::RunReport;

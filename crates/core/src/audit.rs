@@ -16,6 +16,10 @@
 //!   per-tenant slot exactly once (normal completion or cleanup at
 //!   request termination); once the machine drains, no tenant holds a
 //!   slot.
+//! - **Call finish uniqueness** — each call position (`step`, `par`)
+//!   of a live request delivers its completion (CallDone or Timeout)
+//!   at most once; a duplicate means a handler lost the call identity
+//!   or a stale event slipped past the liveness guards.
 //! - **Queue bounds** — SRAM input-queue occupancy never exceeds the
 //!   configured capacity, the overflow area never exceeds its own
 //!   capacity, and the overflow area is only occupied while the SRAM
@@ -32,6 +36,8 @@
 //! [`MachineConfig::audit`](crate::machine::MachineConfig). Violations
 //! are collected into the run's [`AuditReport`]; debug builds
 //! additionally panic at report time so tests fail loudly.
+
+use std::collections::HashMap;
 
 use accelflow_sim::time::{SimDuration, SimTime};
 use accelflow_trace::atm::{Atm, AtmAddr};
@@ -97,6 +103,10 @@ pub struct Auditor {
     // Call / tenant-slot conservation.
     calls_started: u64,
     calls_ended: u64,
+    /// Per live request, the packed `(step << 8) | par` positions whose
+    /// completion (CallDone or Timeout) was already delivered — pruned
+    /// on termination so the map stays bounded by in-flight requests.
+    finished_calls: HashMap<u32, Vec<u16>>,
     // Monotonicity snapshots.
     last_event_time: SimTime,
     last_core_busy: SimDuration,
@@ -124,6 +134,7 @@ impl Auditor {
             terminated_flags: vec![false; n_requests],
             calls_started: 0,
             calls_ended: 0,
+            finished_calls: HashMap::new(),
             last_event_time: SimTime::ZERO,
             last_core_busy: SimDuration::ZERO,
             last_accel_busy: SimDuration::ZERO,
@@ -298,6 +309,10 @@ impl Auditor {
         self.check(first, "terminate-once", now, || {
             format!("request {idx} terminated twice")
         });
+        // The per-call finish log only needs to cover live requests;
+        // stale events for this request are dropped by the machine's
+        // liveness guards before they could re-finish a call.
+        self.finished_calls.remove(&idx);
     }
 
     /// A trace call acquired its per-tenant slot.
@@ -309,6 +324,23 @@ impl Auditor {
     /// terminating request cleans up still-in-flight calls).
     pub fn record_call_end(&mut self, _now: SimTime, n: u32) {
         self.calls_ended += n as u64;
+    }
+
+    /// One specific call of a request — identified by its `step`/`par`
+    /// position — delivered its completion (CallDone or Timeout). Each
+    /// position may finish at most once per request; a duplicate means
+    /// a handler lost the call identity or a stale event slipped past
+    /// the liveness guards.
+    pub fn record_call_finished(&mut self, now: SimTime, req: u32, step: u8, par: u8) {
+        let key = ((step as u16) << 8) | par as u16;
+        let seen = self.finished_calls.entry(req).or_default();
+        let fresh = !seen.contains(&key);
+        if fresh {
+            seen.push(key);
+        }
+        self.check(fresh, "call-finished-once", now, || {
+            format!("request {req} call (step {step}, par {par}) finished twice")
+        });
     }
 
     // ----- end of run -----
@@ -510,6 +542,28 @@ mod tests {
             Trace::new("c", vec![Slot::Accel(AccelKind::Ser), Slot::ToCpu]),
         );
         assert!(Auditor::new(0, &atm).into_report().is_clean());
+    }
+
+    #[test]
+    fn duplicate_call_finish_is_flagged_per_position() {
+        let atm = Atm::new(1);
+        let mut aud = Auditor::new(2, &atm);
+        let t = SimTime::ZERO;
+        aud.record_admit(t, 0, true);
+        // Two parallel arms of the same step finish once each: clean.
+        aud.record_call_finished(t, 0, 1, 0);
+        aud.record_call_finished(t, 0, 1, 1);
+        // The same arm finishing again is the lost-identity bug.
+        aud.record_call_finished(t, 0, 1, 1);
+        // Termination prunes the log; a fresh admission of the same
+        // slot index starts from a clean slate.
+        aud.record_terminate(t, 0, true);
+        aud.record_admit(t, 1, true);
+        aud.record_call_finished(t, 1, 1, 1);
+        let report = aud.into_report();
+        assert_eq!(report.violation_count, 1);
+        assert_eq!(report.violations[0].invariant, "call-finished-once");
+        assert!(report.violations[0].detail.contains("step 1, par 1"));
     }
 
     #[test]

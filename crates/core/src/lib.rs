@@ -10,6 +10,8 @@
 //!   rungs), Cohort, AccelFlow (+ deadline scheduling), and Ideal.
 //! - [`request`] — service specifications (Table IV paths) and the
 //!   sampled request programs the machine executes.
+//! - [`arrivals`] — open-loop Poisson arrival generation, shared by
+//!   the machine's own runner and external workload generators.
 //! - [`machine`] — the event-driven server: cores, the nine
 //!   accelerator stations, A-DMA engines, the centralized manager, the
 //!   ATM, overflow/fallback/timeout handling, multi-tenancy, and SLO
@@ -34,14 +36,18 @@
 //! a Perfetto-loadable Chrome trace; `docs/METRICS.md` defines every
 //! metric and record, and DESIGN.md §7 describes the machinery.
 
+#![warn(missing_docs)]
+
+pub mod arrivals;
 pub mod audit;
 pub mod machine;
 pub mod policy;
 pub mod request;
 pub mod stats;
 
+pub use arrivals::{poisson_arrivals, Arrival, BUFFER_POOL};
 pub use audit::{AuditReport, Auditor, Violation};
-pub use machine::{poisson_arrivals, Arrival, Machine, MachineConfig};
+pub use machine::{Machine, MachineConfig};
 pub use policy::Policy;
 pub use request::{
     CallSpec, CyclesDist, ExternalSpec, FlagProbs, Program, Segment, SegmentEnd, ServiceId,

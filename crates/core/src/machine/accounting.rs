@@ -1,0 +1,274 @@
+//! Accounting: latency-breakdown charging, telemetry emission and
+//! sampling, invariant-audit hooks, and the end-of-run report.
+//!
+//! Everything here is *passive* — these hooks observe the model but
+//! never schedule events or occupy resources, so enabling audit or
+//! telemetry cannot perturb the simulated event sequence (determinism
+//! stays bit-for-bit; see `docs/METRICS.md`).
+
+use accelflow_sim::telemetry::{CompId, Sampler, Telemetry, TelemetryReport};
+use accelflow_sim::time::{SimDuration, SimTime};
+use accelflow_trace::kind::AccelKind;
+
+use crate::stats::RunReport;
+
+use super::{MachineConfig, MachineCtx};
+
+/// Telemetry capture state, boxed behind an `Option` so the disabled
+/// hot path pays one `None` check per emission site.
+pub(crate) struct TelState {
+    pub(crate) sink: Telemetry,
+    pub(crate) sampler: Sampler,
+    /// Cumulative per-station busy picoseconds at the previous sample,
+    /// differenced into windowed utilization.
+    pub(crate) prev_busy: Vec<u64>,
+    pub(crate) prev_at: SimTime,
+}
+
+impl TelState {
+    /// Builds the capture state (labels + sampler columns) when the
+    /// config enables telemetry; `None` otherwise.
+    pub(crate) fn for_config(
+        cfg: &MachineConfig,
+        accels: &[accelflow_accel::accelerator::Accelerator],
+    ) -> Option<Box<TelState>> {
+        let instances = cfg.instances_per_accel;
+        cfg.telemetry.then(|| {
+            let mut sink = Telemetry::new(cfg.telemetry_capacity);
+            for (i, acc) in accels.iter().enumerate() {
+                sink.set_label(
+                    CompId::accelerator(i as u16),
+                    format!("{}#{}", acc.kind().name(), i % instances),
+                );
+            }
+            sink.set_label(CompId::MACHINE, "machine");
+            sink.set_label(CompId::DMA, "A-DMA");
+            sink.set_label(CompId::MANAGER, "manager");
+            sink.set_label(CompId::ATM, "ATM");
+            let mut columns = Vec::new();
+            for kind in AccelKind::ALL {
+                columns.push(format!("util%:{}", kind.name()));
+            }
+            for kind in AccelKind::ALL {
+                columns.push(format!("queue:{}", kind.name()));
+            }
+            columns.push("busy_dma".into());
+            columns.push("tenant_slots".into());
+            columns.push("live_reqs".into());
+            Box::new(TelState {
+                sink,
+                sampler: Sampler::new(cfg.telemetry_sample, columns),
+                prev_busy: vec![0; accels.len()],
+                prev_at: SimTime::ZERO,
+            })
+        })
+    }
+}
+
+impl MachineCtx {
+    /// Adds to the owning service's latency breakdown, but only for
+    /// measured requests (inside the measurement window).
+    pub(crate) fn charge(&mut self, req: u32, f: impl FnOnce(&mut crate::stats::Breakdown)) {
+        let (measured, svc) = {
+            let r = self.req(req);
+            (r.measured, r.service.0)
+        };
+        if measured {
+            f(&mut self.stats[svc].breakdown);
+        }
+    }
+
+    // ----- telemetry hooks -----
+
+    #[inline]
+    pub(crate) fn tel_span(
+        &mut self,
+        at: SimTime,
+        comp: CompId,
+        name: &'static str,
+        dur: SimDuration,
+        req: u32,
+        arg: u64,
+    ) {
+        if let Some(t) = self.tel.as_mut() {
+            t.sink.span(at, comp, name, dur, Some(req), arg);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn tel_instant(&mut self, at: SimTime, comp: CompId, name: &'static str, req: u32) {
+        if let Some(t) = self.tel.as_mut() {
+            t.sink.instant(at, comp, name, Some(req));
+        }
+    }
+
+    /// Instant record carrying a payload in `arg` (e.g. the packed
+    /// step/par call position on `call_done` and `timeout` records).
+    #[inline]
+    pub(crate) fn tel_instant_arg(
+        &mut self,
+        at: SimTime,
+        comp: CompId,
+        name: &'static str,
+        req: u32,
+        arg: u64,
+    ) {
+        if let Some(t) = self.tel.as_mut() {
+            t.sink.instant_arg(at, comp, name, Some(req), arg);
+        }
+    }
+
+    /// Captures one row of the telemetry time series when a sampling
+    /// window has elapsed. Called from `handle` on event delivery (not
+    /// from scheduled events), so enabling telemetry cannot change the
+    /// model's event sequence — determinism is preserved bit-for-bit.
+    pub(crate) fn sample_telemetry(&mut self, now: SimTime) {
+        let MachineCtx {
+            tel,
+            accels,
+            dma,
+            cfg,
+            tenant_active,
+            live,
+            ..
+        } = self;
+        let Some(t) = tel.as_mut() else { return };
+        if !t.sampler.due(now) {
+            return;
+        }
+        let window = now.saturating_since(t.prev_at).as_picos();
+        let instances = cfg.instances_per_accel;
+        let mut values = Vec::with_capacity(t.sampler.columns().len());
+        // Windowed per-kind PE utilization, in percent.
+        for kind in 0..AccelKind::COUNT {
+            let mut delta = 0u64;
+            let mut pes = 0u64;
+            let range = kind * instances..(kind + 1) * instances;
+            for (acc, prev) in accels[range.clone()].iter().zip(&mut t.prev_busy[range]) {
+                let busy = acc.busy_time().as_picos();
+                delta += busy - *prev;
+                *prev = busy;
+                pes += acc.pe_count() as u64;
+            }
+            values.push((delta * 100).checked_div(window * pes).unwrap_or(0));
+        }
+        // Instantaneous per-kind input-queue occupancy (incl. overflow).
+        for kind in 0..AccelKind::COUNT {
+            let backlog: u64 = (kind * instances..(kind + 1) * instances)
+                .map(|i| accels[i].input().backlog() as u64)
+                .sum();
+            values.push(backlog);
+        }
+        values.push(dma.busy_engines(now) as u64);
+        values.push(tenant_active.iter().map(|&n| n as u64).sum());
+        values.push(*live);
+        // Mirror the headline series as counter records so the Chrome
+        // timeline carries them too.
+        let occupancy: u64 = values[AccelKind::COUNT..2 * AccelKind::COUNT].iter().sum();
+        t.sink.counter(now, CompId::MACHINE, "live_reqs", *live);
+        t.sink.counter(
+            now,
+            CompId::DMA,
+            "busy_engines",
+            values[2 * AccelKind::COUNT],
+        );
+        t.sink
+            .counter(now, CompId::MACHINE, "queued_entries", occupancy);
+        t.sampler.push_row(now, values);
+        t.prev_at = now;
+    }
+
+    // ----- invariant audit hooks -----
+
+    pub(crate) fn audit_pre_event(&mut self, now: SimTime) {
+        if let Some(aud) = self.auditor.as_mut() {
+            aud.pre_event(now);
+        }
+    }
+
+    pub(crate) fn audit_post_event(&mut self, now: SimTime) {
+        // Destructure for disjoint borrows: the auditor is mutated
+        // while the hardware models are read.
+        let MachineCtx {
+            auditor,
+            accels,
+            energy,
+            dma,
+            lib,
+            ..
+        } = self;
+        let Some(aud) = auditor.as_mut() else { return };
+        for (i, acc) in accels.iter().enumerate() {
+            let q = acc.input();
+            aud.check_queue(
+                now,
+                i,
+                q.len(),
+                q.capacity(),
+                q.overflow_len(),
+                q.overflow_capacity(),
+                q.overflow_count(),
+                q.rejected_count(),
+            );
+        }
+        let (core_busy, accel_busy, events) = energy.activity();
+        aud.check_meters(
+            now,
+            core_busy,
+            accel_busy,
+            events,
+            dma.bytes_moved(),
+            lib.atm().reads(),
+        );
+    }
+
+    // ----- end-of-run report -----
+
+    pub(crate) fn into_report(mut self, now: SimTime, end: SimTime) -> RunReport {
+        let n = self.cfg.instances_per_accel;
+        for (i, acc) in self.accels.iter().enumerate() {
+            let kind = i / n;
+            self.totals.accel_utilization[kind] += acc.utilization(now.max(end)) / n as f64;
+            self.totals.accel_jobs[kind] += acc.processed();
+            self.totals.tlb[kind].0 += acc.tlb().hits();
+            self.totals.tlb[kind].1 += acc.tlb().misses();
+            self.totals.overflows += acc.input().overflow_count();
+            self.totals.enqueue_rejections += acc.input().rejected_count();
+            self.totals.tenant_wipes += acc.tenant_wipes();
+        }
+        self.totals.manager_jobs = self.manager.jobs();
+        self.totals.dma_bytes = self.dma.bytes_moved();
+        self.totals.atm_reads = self.lib.atm().reads();
+        self.totals.energy = self.energy.report(now.max(end));
+        let audit = match self.auditor.take() {
+            Some(mut aud) => {
+                let offered: u64 = self.stats.iter().map(|s| s.offered).sum();
+                let completed: u64 = self.stats.iter().map(|s| s.completed).sum();
+                aud.finish(now, self.live, &self.tenant_active, offered, completed);
+                aud.into_report()
+            }
+            None => crate::audit::AuditReport::disabled(),
+        };
+        if cfg!(debug_assertions) && !audit.is_clean() {
+            panic!(
+                "invariant audit failed ({} violations): {:#?}",
+                audit.violation_count, audit.violations
+            );
+        }
+        let telemetry = match self.tel.take() {
+            Some(t) => {
+                let t = *t;
+                t.sink.into_report_with_samples(t.sampler)
+            }
+            None => TelemetryReport::disabled(),
+        };
+        RunReport {
+            per_service: self.stats,
+            totals: self.totals,
+            measured: end.saturating_since(self.warmup_end),
+            ended_at: now,
+            audit,
+            telemetry,
+        }
+    }
+}

@@ -1,0 +1,528 @@
+//! The machine model: a 36-core server with the nine-accelerator
+//! ensemble, executing sampled request programs under any of the ten
+//! orchestration policies (paper §III, §IV, §VI).
+//!
+//! The machine is a discrete-event [`Model`]. Requests arrive as
+//! network messages; their programs interleave app-logic stages on the
+//! core pool with trace calls over the accelerator stations. What
+//! differs between policies is purely *how control and data move
+//! between hops*:
+//!
+//! - **AccelFlow family** — output dispatchers walk the trace (glue
+//!   instructions at the dispatcher clock), resolve branches, transform
+//!   data, read the ATM, and move payloads accelerator-to-accelerator
+//!   with the shared A-DMA engines. The ablation rungs bounce branches
+//!   and transforms to the centralized manager instead.
+//! - **RELIEF** — every hop transition passes through a single-server
+//!   hardware manager (~1.5 µs occupancy per completion, §VII-A1); the
+//!   base design also funnels all work through one shared queue with
+//!   head-of-line blocking across accelerator types.
+//! - **CPU-Centric** — every completion interrupts the originating
+//!   core, which then submits the next invocation.
+//! - **Cohort** — statically linked pairs hand off directly through
+//!   software queues; everything else bounces through a core.
+//! - **Non-acc** — tax ops run as CPU work on the core pool.
+//! - **Ideal** — direct transfers with zero orchestration cost.
+//!
+//! # Module map
+//!
+//! The event loop is split by concern; every handler is a method on
+//! [`MachineCtx`], the shared mutable state, and consults the
+//! policy-specific [`Orchestrator`] for every decision that differs
+//! between designs:
+//!
+//! | module | owns |
+//! |---|---|
+//! | `lifecycle` | request admission, program steps, call initiation, completion, timeouts |
+//! | `dispatch` | accelerator input queues, the PE inner loop, RELIEF's shared queue |
+//! | `transfer` | core→accelerator submission, inter-hop payload movement, external responses |
+//! | `fallback` | CPU execution of segments (Non-acc and overflow escape) |
+//! | `accounting` | latency breakdowns, stats/energy emission, telemetry, audit hooks, reports |
+//! | [`orchestrator`] | the [`Orchestrator`] trait and its ten per-policy implementations |
+
+mod accounting;
+mod dispatch;
+mod fallback;
+mod lifecycle;
+pub mod orchestrator;
+#[cfg(test)]
+mod tests;
+mod transfer;
+
+pub use orchestrator::{orchestrator_for, HopInfo, Orchestrator, TransferMode};
+
+use std::collections::VecDeque;
+
+use accelflow_accel::accelerator::Accelerator;
+use accelflow_accel::timing::ServiceTimeModel;
+use accelflow_arch::cache::MemoryBus;
+use accelflow_arch::config::ArchConfig;
+use accelflow_arch::dma::DmaPool;
+use accelflow_arch::energy::{EnergyMeter, EnergyModel};
+use accelflow_arch::interconnect::Interconnect;
+use accelflow_arch::topology::{ChipletLayout, Endpoint, UnitId};
+use accelflow_sim::engine::{EventQueue, Model, Simulation};
+use accelflow_sim::resource::ServerPool;
+use accelflow_sim::rng::SimRng;
+use accelflow_sim::time::{SimDuration, SimTime};
+use accelflow_trace::kind::AccelKind;
+use accelflow_trace::templates::TraceLibrary;
+
+use crate::arrivals::{poisson_arrivals, Arrival};
+use crate::policy::Policy;
+use crate::request::{CallAddr, Program, ServiceSpec, Step, TraceCall};
+use crate::stats::{MachineTotals, RunReport, ServiceStats};
+
+use accounting::TelState;
+use dispatch::SharedJob;
+use lifecycle::RequestState;
+
+/// Configuration of one simulated machine.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Hardware parameters (Table III).
+    pub arch: ArchConfig,
+    /// Orchestration policy.
+    pub policy: Policy,
+    /// Number of chiplets: 1, 2 (default), 3, 4, or 6 (Fig 18).
+    pub chiplets: usize,
+    /// Max concurrent traces per tenant (§IV-D's anti-hoarding cap).
+    pub tenant_cap: usize,
+    /// Measurement starts after this much simulated time.
+    pub warmup: SimDuration,
+    /// TCP input-queue response timeout (§IV-B).
+    pub tcp_timeout: SimDuration,
+    /// Probability an accelerator invocation page-faults (§VII-B6).
+    pub page_fault_prob: f64,
+    /// Global accelerator speedup multiplier (§VII-C5).
+    pub speedup_scale: f64,
+    /// Overrides the input-dispatcher scheduling policy implied by
+    /// `policy` (e.g. priority scheduling, §V-1).
+    pub queue_policy_override: Option<accelflow_accel::dispatcher::QueuePolicy>,
+    /// Accelerator instances per type (paper §IV-A: "one or more
+    /// instances of all the accelerators"; a core whose Enqueue is
+    /// rejected "retries with another accelerator of the same type").
+    pub instances_per_accel: usize,
+    /// Record raw (completion time, latency) samples per service for
+    /// time-series diagnostics (costs memory; off by default).
+    pub sample_latencies: bool,
+    /// Run the invariant [`Auditor`](crate::audit::Auditor) alongside
+    /// the event loop. Defaults to on in debug builds and under the
+    /// `audit` cargo feature; costs a constant-factor slowdown.
+    pub audit: bool,
+    /// Capture structured telemetry (per-component spans, instants,
+    /// counters and windowed utilization samples) for Chrome-trace
+    /// export and latency breakdowns. Off by default — including in
+    /// debug builds, unlike `audit` — because the record stream costs
+    /// memory and time; the `telemetry` cargo feature flips the
+    /// default on. See `docs/METRICS.md` for every emitted record.
+    pub telemetry: bool,
+    /// Telemetry ring capacity in records; on overflow the oldest
+    /// records are dropped and counted in the report's
+    /// `dropped` field (the tail of a run is kept).
+    pub telemetry_capacity: usize,
+    /// Sampling window for the telemetry time series (utilization,
+    /// queue occupancy, tenant-slot pressure). Sampling piggybacks on
+    /// event delivery, so it never perturbs the event sequence.
+    pub telemetry_sample: SimDuration,
+}
+
+impl MachineConfig {
+    /// Baseline configuration for a policy.
+    pub fn new(policy: Policy) -> Self {
+        MachineConfig {
+            arch: ArchConfig::icelake(),
+            policy,
+            chiplets: 2,
+            tenant_cap: 1024,
+            warmup: SimDuration::from_millis(5),
+            tcp_timeout: SimDuration::from_millis(20),
+            page_fault_prob: 3e-6,
+            speedup_scale: 1.0,
+            queue_policy_override: None,
+            instances_per_accel: 1,
+            sample_latencies: false,
+            audit: cfg!(any(debug_assertions, feature = "audit")),
+            telemetry: cfg!(feature = "telemetry"),
+            telemetry_capacity: 1 << 18,
+            telemetry_sample: SimDuration::from_micros(50),
+        }
+    }
+
+    /// The chiplet grouping of accelerator units for `self.chiplets`
+    /// (Fig 18's organizations); unit IDs are [`AccelKind::id`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chiplets` is not one of 1, 2, 3, 4, 6.
+    pub fn chiplet_groups(&self) -> Vec<Vec<u8>> {
+        use AccelKind::*;
+        let ids = |kinds: &[AccelKind]| kinds.iter().map(|k| k.id()).collect::<Vec<_>>();
+        match self.chiplets {
+            1 => vec![ids(&[Ldb, Tcp, Encr, Decr, Rpc, Ser, Dser, Cmp, Dcmp])],
+            2 => vec![
+                ids(&[Ldb]),
+                ids(&[Tcp, Encr, Decr, Rpc, Ser, Dser, Cmp, Dcmp]),
+            ],
+            3 => vec![
+                ids(&[Ldb]),
+                ids(&[Tcp, Encr, Decr]),
+                ids(&[Rpc, Ser, Dser, Cmp, Dcmp]),
+            ],
+            4 => vec![
+                ids(&[Ldb]),
+                ids(&[Tcp, Encr, Decr]),
+                ids(&[Rpc, Ser, Dser]),
+                ids(&[Cmp, Dcmp]),
+            ],
+            6 => vec![
+                ids(&[Ldb]),
+                ids(&[Tcp]),
+                ids(&[Encr, Decr]),
+                ids(&[Rpc]),
+                ids(&[Ser, Dser]),
+                ids(&[Cmp, Dcmp]),
+            ],
+            n => panic!("unsupported chiplet count {n} (use 1, 2, 3, 4, or 6)"),
+        }
+    }
+}
+
+/// Machine events (an implementation detail exposed only because
+/// [`Machine`] implements [`Model`]).
+#[derive(Clone, Debug)]
+#[doc(hidden)]
+pub enum Ev {
+    /// The next arrival (index into the arrival list) lands.
+    Arrive(u32),
+    /// Begin the request's current program step.
+    StartStep(u32),
+    /// An app-logic stage finished on a core.
+    AppDone(u32),
+    /// A payload landed in an accelerator's input queue.
+    HopArrive(CallAddr),
+    /// Retry a tenant-throttled trace initiation.
+    HopArriveRetry(CallAddr),
+    /// A remote response arrived under Non-acc (next segment runs on a
+    /// core).
+    ExternalArriveCpu(CallAddr),
+    /// A PE finished computing a hop.
+    PeDone {
+        addr: CallAddr,
+        accel: u8,
+        pe: u8,
+        busy_ps: u64,
+    },
+    /// Try to start queued work on an accelerator.
+    TryStart(u8),
+    /// A remote response arrived, triggering the chained segment.
+    ExternalArrive(CallAddr),
+    /// A trace call completed (final notification delivered).
+    CallDone {
+        req: u32,
+        step: u8,
+        par: u8,
+        error: bool,
+    },
+    /// A CPU fallback finished executing the segment remainder.
+    FallbackDone(CallAddr),
+    /// A TCP response timeout fired (§IV-B).
+    Timeout { req: u32, step: u8, par: u8 },
+}
+
+/// The machine's shared mutable state: every hardware model, the
+/// request table, and the measurement sinks.
+///
+/// Event handlers are methods on this type, spread across the
+/// submodules by concern; the [`Orchestrator`] strategies receive a
+/// `&mut MachineCtx` for the policy-specific legs of a transition.
+/// Nothing outside this crate can touch the fields — the type is
+/// public only because [`Orchestrator`] names it in its signatures.
+pub struct MachineCtx {
+    pub(crate) cfg: MachineConfig,
+    pub(crate) orch: &'static dyn Orchestrator,
+    pub(crate) timing: ServiceTimeModel,
+    pub(crate) lib: TraceLibrary,
+    pub(crate) net: Interconnect,
+    pub(crate) dma: DmaPool,
+    pub(crate) bus: MemoryBus,
+    pub(crate) cores: ServerPool,
+    pub(crate) manager: ServerPool,
+    pub(crate) accels: Vec<Accelerator>,
+    pub(crate) shared_queue: VecDeque<SharedJob>,
+    pub(crate) requests: Vec<Option<RequestState>>,
+    pub(crate) arrivals: Vec<Option<Arrival>>,
+    pub(crate) stats: Vec<ServiceStats>,
+    pub(crate) totals: MachineTotals,
+    pub(crate) energy: EnergyMeter,
+    pub(crate) rng: SimRng,
+    /// In-flight call count per tenant, dense-indexed by `TenantId.0`
+    /// (tenant ids are small sequential u16s, so a Vec lookup beats a
+    /// HashMap probe in the dispatch inner loop). Grown on demand.
+    pub(crate) tenant_active: Vec<u32>,
+    pub(crate) warmup_end: SimTime,
+    pub(crate) end: SimTime,
+    pub(crate) app_factor: f64,
+    pub(crate) live: u64,
+    pub(crate) auditor: Option<crate::audit::Auditor>,
+    pub(crate) tel: Option<Box<TelState>>,
+}
+
+/// The simulated server.
+pub struct Machine {
+    ctx: MachineCtx,
+}
+
+impl Machine {
+    /// Builds the machine for a workload of `service_names.len()`
+    /// services.
+    pub fn new(
+        cfg: MachineConfig,
+        service_names: Vec<String>,
+        arrivals: Vec<Arrival>,
+        end: SimTime,
+        seed: u64,
+    ) -> Self {
+        cfg.arch.validate().expect("invalid architecture config");
+        let orch = orchestrator_for(cfg.policy);
+        let mut timing = ServiceTimeModel::calibrated(cfg.arch.core_clock);
+        timing.set_speedup_scale(cfg.speedup_scale);
+        timing.set_tax_speed_factor(cfg.arch.generation.tax_factor());
+        let app_factor = cfg.arch.generation.app_logic_factor();
+
+        let layout = ChipletLayout::new(cfg.chiplet_groups(), AccelKind::COUNT as u8);
+        let net = Interconnect::new(&cfg.arch, layout);
+        let dma = DmaPool::new(&cfg.arch);
+        let bus = MemoryBus::new(&cfg.arch);
+        let cores = ServerPool::new(cfg.arch.cores);
+        let manager = ServerPool::new(1);
+        let queue_policy = cfg
+            .queue_policy_override
+            .unwrap_or_else(|| orch.queue_policy());
+        let instances = cfg.instances_per_accel;
+        assert!(
+            (1..=16).contains(&instances),
+            "instances_per_accel must be within 1..=16"
+        );
+        let accels: Vec<Accelerator> = AccelKind::ALL
+            .iter()
+            .flat_map(|&k| {
+                // Instances of a kind share the kind's mesh placement.
+                (0..instances).map(move |_| k)
+            })
+            .map(|k| Accelerator::new(k, UnitId(k.id()), &cfg.arch, queue_policy))
+            .collect();
+        let stats = service_names.iter().map(ServiceStats::new).collect();
+        let energy = EnergyMeter::new(EnergyModel::mcpat_like(), cfg.arch.cores, AccelKind::COUNT);
+        let requests = (0..arrivals.len()).map(|_| None).collect();
+        let warmup_end = SimTime::ZERO + cfg.warmup;
+        let lib = TraceLibrary::standard();
+        let auditor = cfg
+            .audit
+            .then(|| crate::audit::Auditor::new(arrivals.len(), lib.atm()));
+        let tel = TelState::for_config(&cfg, &accels);
+        Machine {
+            ctx: MachineCtx {
+                cfg,
+                orch,
+                timing,
+                lib,
+                net,
+                dma,
+                bus,
+                cores,
+                manager,
+                accels,
+                shared_queue: VecDeque::new(),
+                requests,
+                arrivals: arrivals.into_iter().map(Some).collect(),
+                stats,
+                totals: MachineTotals::default(),
+                energy,
+                rng: SimRng::seed(seed ^ 0xACCE1F10),
+                tenant_active: Vec::new(),
+                warmup_end,
+                end,
+                app_factor,
+                live: 0,
+                auditor,
+                tel,
+            },
+        }
+    }
+
+    /// Convenience runner: Poisson arrivals at `rps_per_service` for
+    /// each service over `duration`, then a drain window.
+    pub fn run_workload(
+        cfg: &MachineConfig,
+        services: &[ServiceSpec],
+        rps_per_service: f64,
+        duration: SimDuration,
+        seed: u64,
+    ) -> RunReport {
+        let timing = {
+            let mut t = ServiceTimeModel::calibrated(cfg.arch.core_clock);
+            t.set_speedup_scale(cfg.speedup_scale);
+            t
+        };
+        let lib = TraceLibrary::standard();
+        let arrivals = poisson_arrivals(services, &lib, &timing, rps_per_service, duration, seed);
+        Self::run_arrivals(cfg, services, arrivals, duration, seed)
+    }
+
+    /// Runs a pre-generated arrival list (for bursty trace-driven loads
+    /// and for common-random-number comparisons across policies).
+    pub fn run_arrivals(
+        cfg: &MachineConfig,
+        services: &[ServiceSpec],
+        arrivals: Vec<Arrival>,
+        duration: SimDuration,
+        seed: u64,
+    ) -> RunReport {
+        Self::run_arrivals_observed(cfg, services, arrivals, duration, seed, |_, _| {})
+    }
+
+    /// [`Machine::run_arrivals`] with an event observer: `observe` is
+    /// invoked for every delivered event, in delivery order, before the
+    /// machine handles it. Observation is read-only and cannot perturb
+    /// the run, which makes this the anchor for the golden
+    /// event-sequence snapshot tests (hash the observed stream, assert
+    /// it never drifts across refactors).
+    pub fn run_arrivals_observed(
+        cfg: &MachineConfig,
+        services: &[ServiceSpec],
+        arrivals: Vec<Arrival>,
+        duration: SimDuration,
+        seed: u64,
+        observe: impl FnMut(SimTime, &Ev),
+    ) -> RunReport {
+        /// Transparent [`Model`] shim that reports each event before
+        /// forwarding it to the machine.
+        struct Observed<F> {
+            machine: Machine,
+            observe: F,
+        }
+        impl<F: FnMut(SimTime, &Ev)> Model for Observed<F> {
+            type Event = Ev;
+            fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+                (self.observe)(now, &event);
+                self.machine.handle(now, event, queue);
+            }
+        }
+
+        let names = services.iter().map(|s| s.name.clone()).collect();
+        let end = SimTime::ZERO + duration;
+        let machine = Machine::new(cfg.clone(), names, arrivals, end, seed);
+        let mut sim = Simulation::new(Observed { machine, observe });
+        // Pre-reserve the event heap for the steady-state population:
+        // each in-flight request contributes a handful of pending
+        // events, bounded by the arrival backlog. Keeps the hot
+        // schedule path allocation-free.
+        let backlog = sim.model().machine.ctx.arrivals.len().clamp(256, 16_384);
+        sim.queue_mut().reserve(backlog);
+        if !sim.model().machine.ctx.arrivals.is_empty() {
+            let first = sim.model().machine.ctx.arrivals[0]
+                .as_ref()
+                .expect("arrival present")
+                .at;
+            sim.queue_mut().schedule_at(first, Ev::Arrive(0));
+        }
+        // Generous drain: stragglers get 30 ms past the arrival window.
+        let drain = end + SimDuration::from_millis(30);
+        sim.run_until(drain);
+        let now = sim.now();
+        let clamped = sim.queue_mut().clamped();
+        let mut report = sim.into_model().machine.ctx.into_report(now, end);
+        report.totals.clamped_events = clamped;
+        report
+    }
+}
+
+impl MachineCtx {
+    // ----- helpers shared across the handler modules -----
+
+    pub(crate) fn endpoint(kind: AccelKind) -> Endpoint {
+        Endpoint::Unit(UnitId(kind.id()))
+    }
+
+    /// Flat station indices of a kind's instances.
+    pub(crate) fn stations_of(&self, kind: AccelKind) -> std::ops::Range<usize> {
+        let n = self.cfg.instances_per_accel;
+        let base = kind.id() as usize * n;
+        base..base + n
+    }
+
+    /// The least-backlogged station of a kind (hardware routes new work
+    /// to the emptiest instance).
+    pub(crate) fn least_loaded_station(&self, kind: AccelKind) -> usize {
+        self.stations_of(kind)
+            .min_by_key(|&i| self.accels[i].input().backlog())
+            .expect("at least one instance")
+    }
+
+    pub(crate) fn req(&self, idx: u32) -> &RequestState {
+        self.requests[idx as usize].as_ref().expect("request alive")
+    }
+
+    /// True when the request already terminated — either still parked
+    /// with `done` set or freed entirely. Every handler reachable from
+    /// a stale event (a response landing after a timeout killed the
+    /// request) must check this before touching request state:
+    /// termination frees the slot, so `req()` would panic.
+    pub(crate) fn req_gone(&self, idx: u32) -> bool {
+        self.requests[idx as usize].as_ref().is_none_or(|r| r.done)
+    }
+
+    pub(crate) fn req_mut(&mut self, idx: u32) -> &mut RequestState {
+        self.requests[idx as usize].as_mut().expect("request alive")
+    }
+
+    pub(crate) fn call_of(program: &Program, step: u8, par: u8) -> &TraceCall {
+        match &program.steps[step as usize] {
+            Step::Call(c) => c,
+            Step::Parallel(cs) => &cs[par as usize],
+            Step::Cpu { .. } => panic!("addressed a CPU step as a call"),
+        }
+    }
+
+    pub(crate) fn dispatcher_time(&self, instrs: u32) -> SimDuration {
+        SimDuration::from_picos(self.cfg.arch.dispatcher_cycle.as_picos() * instrs as u64)
+    }
+}
+
+impl Model for Machine {
+    type Event = Ev;
+
+    fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
+        let ctx = &mut self.ctx;
+        if ctx.tel.is_some() {
+            ctx.sample_telemetry(now);
+        }
+        ctx.audit_pre_event(now);
+        match event {
+            Ev::Arrive(idx) => ctx.on_arrive(now, idx, queue),
+            Ev::StartStep(req) => ctx.on_start_step(now, req, queue),
+            Ev::AppDone(req) => ctx.on_app_done(now, req, queue),
+            Ev::HopArrive(addr) => ctx.on_hop_arrive(now, addr, queue),
+            Ev::HopArriveRetry(addr) => ctx.start_call(now, addr, queue),
+            Ev::ExternalArriveCpu(addr) => ctx.start_segment_on_cpu(now, addr, queue),
+            Ev::PeDone {
+                addr,
+                accel,
+                pe,
+                busy_ps,
+            } => ctx.on_pe_done(now, addr, accel, pe, busy_ps, queue),
+            Ev::TryStart(accel) => ctx.on_try_start(now, accel, queue),
+            Ev::ExternalArrive(addr) => ctx.on_external_arrive(now, addr, queue),
+            Ev::CallDone {
+                req,
+                step,
+                par,
+                error,
+            } => ctx.on_call_done(now, req, step, par, error, queue),
+            Ev::FallbackDone(addr) => ctx.on_fallback_done(now, addr, queue),
+            Ev::Timeout { req, step, par } => ctx.on_timeout(now, req, step, par),
+        }
+        ctx.audit_post_event(now);
+    }
+}

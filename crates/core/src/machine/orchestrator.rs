@@ -1,0 +1,580 @@
+//! The per-policy orchestration strategy.
+//!
+//! Every design point the paper evaluates (Fig 11/13/14) differs from
+//! the others only in *who coordinates* inter-accelerator transitions
+//! and *how payloads move* — the accelerators, queues, DMA engines,
+//! and interconnect are identical. [`Orchestrator`] captures exactly
+//! that seam: one stateless strategy object per [`Policy`] variant,
+//! consulted by the machine at every decision the policies disagree
+//! on. The simulation state itself stays in
+//! [`MachineCtx`]; strategies borrow it mutably for
+//! the duration of one decision and hold nothing across events, which
+//! keeps the event stream bit-for-bit identical to the pre-trait
+//! monolith (enforced by `tests/golden_events.rs`).
+//!
+//! # Contract
+//!
+//! * Implementations are zero-sized and `'static`; construction goes
+//!   through [`orchestrator_for`], the single site that maps `Policy`
+//!   to behavior.
+//! * [`Orchestrator::hop_transition`] may occupy resources (cores,
+//!   the manager) and charge latency, and returns the time at which
+//!   the payload is ready to move.
+//! * Predicate methods (`cpu_only`, `single_shared_queue`, …) must be
+//!   pure: same answer every call, no state.
+
+use accelflow_accel::dispatcher::QueuePolicy;
+use accelflow_arch::config::ArchConfig;
+use accelflow_sim::telemetry::CompId;
+use accelflow_sim::time::{SimDuration, SimTime};
+use accelflow_trace::kind::AccelKind;
+
+use crate::policy::Policy;
+use crate::request::{CallAddr, SegmentEnd};
+
+use super::MachineCtx;
+
+/// How a payload moves between two accelerator stations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransferMode {
+    /// Raw interconnect latency only — the Ideal bound.
+    Instant,
+    /// Staged through the core's memory hierarchy (two network legs
+    /// plus a cache access); designs without A-DMA engines.
+    StagedViaCore,
+    /// An A-DMA engine moves the payload station-to-station.
+    Dma,
+}
+
+/// Snapshot of the completed hop handed to
+/// [`Orchestrator::hop_transition`]: everything a strategy may need
+/// without re-borrowing the request table.
+#[derive(Clone, Copy)]
+pub struct HopInfo {
+    pub(crate) kind: AccelKind,
+    pub(crate) out_bytes: u64,
+    pub(crate) glue_instrs: u32,
+    pub(crate) branches_after: u8,
+    pub(crate) transform_after: bool,
+    pub(crate) fork_after: bool,
+    pub(crate) next_kind: Option<AccelKind>,
+    pub(crate) end: SegmentEnd,
+    pub(crate) has_next_segment: bool,
+}
+
+/// One design point's coordination strategy. See the module docs for
+/// the contract; see `DESIGN.md` §3 for the policy-by-policy values.
+pub trait Orchestrator: Sync {
+    /// The policy this strategy implements.
+    fn policy(&self) -> Policy;
+
+    /// Scheduling discipline of the accelerator input queues.
+    fn queue_policy(&self) -> QueuePolicy {
+        QueuePolicy::Fifo
+    }
+
+    /// Whole segments run on cores; no accelerator is ever touched.
+    fn cpu_only(&self) -> bool {
+        false
+    }
+
+    /// All accelerator types share one queue drained by the manager
+    /// (RELIEF base design).
+    fn single_shared_queue(&self) -> bool {
+        false
+    }
+
+    /// Core-side cost of submitting a fresh trace call.
+    fn submit_cost(&self, arch: &ArchConfig) -> SimDuration;
+
+    /// Manager occupancy paid when a queue entry's Memory-Pointer
+    /// payload spills past the inline bytes; `None` when the design
+    /// handles spills without the manager.
+    fn spill_manager_occupancy(&self, _arch: &ArchConfig) -> Option<SimDuration> {
+        None
+    }
+
+    /// The orchestration cost of the transition after a completed hop.
+    /// May occupy resources and charge latency; returns when the
+    /// payload is ready to move on.
+    fn hop_transition(
+        &self,
+        ctx: &mut MachineCtx,
+        now: SimTime,
+        addr: CallAddr,
+        accel: u8,
+        info: &HopInfo,
+    ) -> SimTime;
+
+    /// How the payload travels from `from` to `to`.
+    fn transfer_mode(&self, _from: AccelKind, _to: AccelKind) -> TransferMode {
+        TransferMode::Dma
+    }
+
+    /// The TCP dispatcher pre-loads the response trace from the ATM at
+    /// an `AwaitResponse` boundary (§IV-B) instead of leaving it to
+    /// the core.
+    fn preloads_response_trace(&self) -> bool {
+        false
+    }
+
+    /// A core must notice and resubmit when an external response
+    /// re-enters through TCP (the AccelFlow family re-dispatches in
+    /// hardware instead).
+    fn resubmits_external_response(&self) -> bool {
+        true
+    }
+}
+
+/// Maps a policy to its strategy object — the one construction site.
+pub fn orchestrator_for(policy: Policy) -> &'static dyn Orchestrator {
+    match policy {
+        Policy::NonAcc => &NonAccOrch,
+        Policy::CpuCentric => &CpuCentricOrch,
+        Policy::Relief => &ReliefOrch,
+        Policy::ReliefPerTypeQ => &ReliefPerTypeQOrch,
+        Policy::Direct => &DirectOrch,
+        Policy::CntrFlow => &CntrFlowOrch,
+        Policy::AccelFlow => &AccelFlowOrch,
+        Policy::AccelFlowDeadline => &AccelFlowDeadlineOrch,
+        Policy::Cohort => &CohortOrch,
+        Policy::Ideal => &IdealOrch,
+    }
+}
+
+// ----- shared transition helpers -----
+
+/// Output-dispatcher transition (the AccelFlow ablation ladder): the
+/// dispatcher executes the glue instructions; rungs that cannot
+/// resolve branches or transforms locally bounce to the manager.
+fn dispatcher_transition(
+    ctx: &mut MachineCtx,
+    now: SimTime,
+    addr: CallAddr,
+    accel: u8,
+    info: &HopInfo,
+    branches_in_dispatcher: bool,
+    transforms_in_dispatcher: bool,
+) -> SimTime {
+    let mut t = now;
+    let td = ctx.dispatcher_time(info.glue_instrs);
+    ctx.totals.dispatcher_instrs += info.glue_instrs as u64;
+    ctx.totals.dispatches += 1;
+    ctx.energy.add_dispatcher_instrs(info.glue_instrs as u64);
+    ctx.charge(addr.req, |b| b.orchestration += td);
+    ctx.tel_span(
+        t,
+        CompId::accelerator(accel as u16),
+        "glue",
+        td,
+        addr.req,
+        info.glue_instrs as u64,
+    );
+    t += td;
+    // Ablation rungs bounce unresolved work to the manager.
+    let needs_manager_branch = info.branches_after > 0 && !branches_in_dispatcher;
+    let needs_manager_transform = info.transform_after && !transforms_in_dispatcher;
+    if needs_manager_branch || needs_manager_transform {
+        let after_irq = t + ctx.cfg.arch.manager_latency;
+        let b = ctx
+            .manager
+            .acquire(after_irq, ctx.cfg.arch.manager_fallback_time);
+        let spent = b.finish.saturating_since(t);
+        ctx.charge(addr.req, |bd| bd.orchestration += spent);
+        ctx.tel_span(
+            b.start,
+            CompId::MANAGER,
+            "manager",
+            ctx.cfg.arch.manager_fallback_time,
+            addr.req,
+            0,
+        );
+        t = b.finish;
+    }
+    t
+}
+
+/// RELIEF-style transition: every completion interrupts the manager —
+/// interrupt-delivery latency plus serialized decision occupancy
+/// (§VII-A1).
+fn manager_transition(ctx: &mut MachineCtx, now: SimTime, addr: CallAddr) -> SimTime {
+    let after_irq = now + ctx.cfg.arch.manager_latency;
+    let b = ctx
+        .manager
+        .acquire(after_irq, ctx.cfg.arch.manager_service_time);
+    let spent = b.finish.saturating_since(now);
+    ctx.charge(addr.req, |bd| bd.orchestration += spent);
+    ctx.totals.manager_busy += ctx.cfg.arch.manager_service_time;
+    ctx.tel_span(
+        b.start,
+        CompId::MANAGER,
+        "manager",
+        ctx.cfg.arch.manager_service_time,
+        addr.req,
+        0,
+    );
+    b.finish
+}
+
+// ----- the ten design points -----
+
+/// Software-only baseline: every segment runs on cores.
+struct NonAccOrch;
+
+impl Orchestrator for NonAccOrch {
+    fn policy(&self) -> Policy {
+        Policy::NonAcc
+    }
+    fn cpu_only(&self) -> bool {
+        true
+    }
+    fn submit_cost(&self, arch: &ArchConfig) -> SimDuration {
+        arch.cpu_submit_overhead
+    }
+    fn hop_transition(
+        &self,
+        _ctx: &mut MachineCtx,
+        _now: SimTime,
+        _addr: CallAddr,
+        _accel: u8,
+        _info: &HopInfo,
+    ) -> SimTime {
+        unreachable!("Non-acc runs no accelerator hops")
+    }
+    fn transfer_mode(&self, _from: AccelKind, _to: AccelKind) -> TransferMode {
+        unreachable!("Non-acc runs no accelerator hops")
+    }
+    fn resubmits_external_response(&self) -> bool {
+        // Responses re-enter through the CPU path (ExternalArriveCpu),
+        // which never reaches this decision; the software restart cost
+        // is part of the segment's CPU time.
+        false
+    }
+}
+
+/// Cores orchestrate every transition via interrupts; data staged
+/// through the coherent hierarchy.
+struct CpuCentricOrch;
+
+impl Orchestrator for CpuCentricOrch {
+    fn policy(&self) -> Policy {
+        Policy::CpuCentric
+    }
+    fn submit_cost(&self, arch: &ArchConfig) -> SimDuration {
+        arch.cpu_submit_overhead
+    }
+    fn hop_transition(
+        &self,
+        ctx: &mut MachineCtx,
+        now: SimTime,
+        addr: CallAddr,
+        _accel: u8,
+        _info: &HopInfo,
+    ) -> SimTime {
+        // Completion interrupts the originating core, which then
+        // submits the next invocation.
+        let overhead = ctx.cfg.arch.cpu_interrupt_overhead + ctx.cfg.arch.cpu_submit_overhead;
+        let b = ctx.cores.acquire(now, overhead);
+        ctx.energy.add_core_busy(overhead);
+        let spent = b.finish.saturating_since(now);
+        ctx.charge(addr.req, |bd| bd.orchestration += spent);
+        b.finish
+    }
+    fn transfer_mode(&self, _from: AccelKind, _to: AccelKind) -> TransferMode {
+        TransferMode::StagedViaCore
+    }
+}
+
+/// RELIEF base: centralized manager, one shared queue for all types.
+struct ReliefOrch;
+
+impl Orchestrator for ReliefOrch {
+    fn policy(&self) -> Policy {
+        Policy::Relief
+    }
+    fn single_shared_queue(&self) -> bool {
+        true
+    }
+    fn submit_cost(&self, arch: &ArchConfig) -> SimDuration {
+        arch.cpu_submit_overhead
+    }
+    fn spill_manager_occupancy(&self, arch: &ArchConfig) -> Option<SimDuration> {
+        Some(arch.manager_service_time)
+    }
+    fn hop_transition(
+        &self,
+        ctx: &mut MachineCtx,
+        now: SimTime,
+        addr: CallAddr,
+        _accel: u8,
+        _info: &HopInfo,
+    ) -> SimTime {
+        manager_transition(ctx, now, addr)
+    }
+}
+
+/// RELIEF + per-accelerator-type queues (Fig 13 first rung).
+struct ReliefPerTypeQOrch;
+
+impl Orchestrator for ReliefPerTypeQOrch {
+    fn policy(&self) -> Policy {
+        Policy::ReliefPerTypeQ
+    }
+    fn submit_cost(&self, arch: &ArchConfig) -> SimDuration {
+        arch.cpu_submit_overhead
+    }
+    fn spill_manager_occupancy(&self, arch: &ArchConfig) -> Option<SimDuration> {
+        Some(arch.manager_service_time)
+    }
+    fn hop_transition(
+        &self,
+        ctx: &mut MachineCtx,
+        now: SimTime,
+        addr: CallAddr,
+        _accel: u8,
+        _info: &HopInfo,
+    ) -> SimTime {
+        manager_transition(ctx, now, addr)
+    }
+}
+
+/// Direct transfers rung: dispatcher glue + A-DMA, but branches and
+/// transforms still bounce to the manager.
+struct DirectOrch;
+
+impl Orchestrator for DirectOrch {
+    fn policy(&self) -> Policy {
+        Policy::Direct
+    }
+    fn submit_cost(&self, arch: &ArchConfig) -> SimDuration {
+        arch.cycles(arch.enqueue_cycles)
+    }
+    fn spill_manager_occupancy(&self, arch: &ArchConfig) -> Option<SimDuration> {
+        Some(arch.manager_fallback_time)
+    }
+    fn hop_transition(
+        &self,
+        ctx: &mut MachineCtx,
+        now: SimTime,
+        addr: CallAddr,
+        accel: u8,
+        info: &HopInfo,
+    ) -> SimTime {
+        dispatcher_transition(ctx, now, addr, accel, info, false, false)
+    }
+    fn preloads_response_trace(&self) -> bool {
+        true
+    }
+}
+
+/// Control-flow rung: dispatchers also resolve branches.
+struct CntrFlowOrch;
+
+impl Orchestrator for CntrFlowOrch {
+    fn policy(&self) -> Policy {
+        Policy::CntrFlow
+    }
+    fn submit_cost(&self, arch: &ArchConfig) -> SimDuration {
+        arch.cycles(arch.enqueue_cycles)
+    }
+    fn spill_manager_occupancy(&self, arch: &ArchConfig) -> Option<SimDuration> {
+        Some(arch.manager_fallback_time)
+    }
+    fn hop_transition(
+        &self,
+        ctx: &mut MachineCtx,
+        now: SimTime,
+        addr: CallAddr,
+        accel: u8,
+        info: &HopInfo,
+    ) -> SimTime {
+        dispatcher_transition(ctx, now, addr, accel, info, true, false)
+    }
+    fn preloads_response_trace(&self) -> bool {
+        true
+    }
+}
+
+/// The full AccelFlow design: dispatchers run glue, branches, and
+/// transforms; FIFO input queues.
+struct AccelFlowOrch;
+
+impl Orchestrator for AccelFlowOrch {
+    fn policy(&self) -> Policy {
+        Policy::AccelFlow
+    }
+    fn submit_cost(&self, arch: &ArchConfig) -> SimDuration {
+        arch.cycles(arch.enqueue_cycles)
+    }
+    fn hop_transition(
+        &self,
+        ctx: &mut MachineCtx,
+        now: SimTime,
+        addr: CallAddr,
+        accel: u8,
+        info: &HopInfo,
+    ) -> SimTime {
+        dispatcher_transition(ctx, now, addr, accel, info, true, true)
+    }
+    fn preloads_response_trace(&self) -> bool {
+        true
+    }
+    fn resubmits_external_response(&self) -> bool {
+        false
+    }
+}
+
+/// AccelFlow + deadline-aware queue scheduling (§IV-C).
+struct AccelFlowDeadlineOrch;
+
+impl Orchestrator for AccelFlowDeadlineOrch {
+    fn policy(&self) -> Policy {
+        Policy::AccelFlowDeadline
+    }
+    fn queue_policy(&self) -> QueuePolicy {
+        QueuePolicy::DeadlineAware
+    }
+    fn submit_cost(&self, arch: &ArchConfig) -> SimDuration {
+        arch.cycles(arch.enqueue_cycles)
+    }
+    fn hop_transition(
+        &self,
+        ctx: &mut MachineCtx,
+        now: SimTime,
+        addr: CallAddr,
+        accel: u8,
+        info: &HopInfo,
+    ) -> SimTime {
+        dispatcher_transition(ctx, now, addr, accel, info, true, true)
+    }
+    fn preloads_response_trace(&self) -> bool {
+        true
+    }
+    fn resubmits_external_response(&self) -> bool {
+        false
+    }
+}
+
+/// Cohort-style software queues: linked producer/consumer pairs hand
+/// off through the LLC; everything else falls back to the cores.
+struct CohortOrch;
+
+impl Orchestrator for CohortOrch {
+    fn policy(&self) -> Policy {
+        Policy::Cohort
+    }
+    fn submit_cost(&self, arch: &ArchConfig) -> SimDuration {
+        arch.cohort_queue_overhead
+    }
+    fn hop_transition(
+        &self,
+        ctx: &mut MachineCtx,
+        now: SimTime,
+        addr: CallAddr,
+        _accel: u8,
+        info: &HopInfo,
+    ) -> SimTime {
+        let linked = info
+            .next_kind
+            .map(|n| Policy::cohort_linked(info.kind, n))
+            .unwrap_or(false);
+        if linked {
+            // Producer/consumer software queue in the LLC.
+            let hand = ctx.cfg.arch.cycles(2.0 * ctx.cfg.arch.llc_latency_cycles);
+            ctx.charge(addr.req, |bd| bd.orchestration += hand);
+            now + hand
+        } else {
+            // Unlinked hops fall back to core orchestration (Cohort
+            // "otherwise relies on the cores"): the core polls the
+            // software queue, runs the glue, and resubmits —
+            // interrupt-free but the same software path as CPU-Centric
+            // minus the interrupt entry.
+            let overhead = ctx.cfg.arch.cohort_queue_overhead + ctx.cfg.arch.cpu_submit_overhead;
+            let b = ctx.cores.acquire(now, overhead);
+            ctx.energy.add_core_busy(overhead);
+            let spent = b.finish.saturating_since(now);
+            ctx.charge(addr.req, |bd| bd.orchestration += spent);
+            b.finish
+        }
+    }
+    fn transfer_mode(&self, from: AccelKind, to: AccelKind) -> TransferMode {
+        if Policy::cohort_linked(from, to) {
+            TransferMode::Dma
+        } else {
+            TransferMode::StagedViaCore
+        }
+    }
+}
+
+/// Zero-overhead orchestration bound: transitions are free, payloads
+/// move at raw interconnect latency.
+struct IdealOrch;
+
+impl Orchestrator for IdealOrch {
+    fn policy(&self) -> Policy {
+        Policy::Ideal
+    }
+    fn submit_cost(&self, _arch: &ArchConfig) -> SimDuration {
+        SimDuration::ZERO
+    }
+    fn hop_transition(
+        &self,
+        _ctx: &mut MachineCtx,
+        now: SimTime,
+        _addr: CallAddr,
+        _accel: u8,
+        _info: &HopInfo,
+    ) -> SimTime {
+        now
+    }
+    fn transfer_mode(&self, _from: AccelKind, _to: AccelKind) -> TransferMode {
+        TransferMode::Instant
+    }
+    fn resubmits_external_response(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EVERY_POLICY: [Policy; 10] = [
+        Policy::NonAcc,
+        Policy::CpuCentric,
+        Policy::Relief,
+        Policy::ReliefPerTypeQ,
+        Policy::Direct,
+        Policy::CntrFlow,
+        Policy::AccelFlow,
+        Policy::AccelFlowDeadline,
+        Policy::Cohort,
+        Policy::Ideal,
+    ];
+
+    #[test]
+    fn orchestrator_for_agrees_with_policy_predicates() {
+        for p in EVERY_POLICY {
+            let o = orchestrator_for(p);
+            assert_eq!(o.policy(), p);
+            assert_eq!(o.queue_policy(), p.queue_policy());
+            assert_eq!(o.cpu_only(), p == Policy::NonAcc);
+            assert_eq!(o.single_shared_queue(), p.single_shared_queue());
+            // Designs with a centralized manager pay spill occupancy.
+            assert_eq!(
+                o.spill_manager_occupancy(&ArchConfig::default()).is_some(),
+                p.uses_manager()
+            );
+            // ATM preload is the direct-transfer family minus Ideal.
+            assert_eq!(
+                o.preloads_response_trace(),
+                p.direct_transfers() && p != Policy::Ideal
+            );
+            // Cores resubmit responses wherever software coordinates.
+            assert_eq!(
+                o.resubmits_external_response(),
+                p.core_orchestrated() || p.uses_manager()
+            );
+        }
+    }
+}

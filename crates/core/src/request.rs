@@ -31,6 +31,50 @@ use accelflow_trace::templates::{TemplateId, TraceLibrary};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ServiceId(pub usize);
 
+/// The address of one in-flight trace call position: which request,
+/// which program step, which arm of a parallel step, and how far into
+/// the call's segment/hop chain execution has progressed.
+///
+/// Every machine event that concerns a call carries one of these, and
+/// it round-trips through the accelerator queues as a packed `u64`
+/// tag (`CallAddr::tag`) so a completing PE can find its owner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CallAddr {
+    /// Index of the request in the arrival list.
+    pub(crate) req: u32,
+    /// Program step holding the call.
+    pub(crate) step: u8,
+    /// Arm within a [`Step::Parallel`] (0 for plain calls).
+    pub(crate) par: u8,
+    /// Segment of the call currently executing.
+    pub(crate) seg: u8,
+    /// Hop within the segment currently executing.
+    pub(crate) hop: u8,
+}
+
+impl CallAddr {
+    /// Packs the address into the `u64` tag format carried by
+    /// accelerator queue entries.
+    pub(crate) fn tag(self) -> u64 {
+        ((self.req as u64) << 32)
+            | ((self.step as u64) << 24)
+            | ((self.par as u64) << 16)
+            | ((self.seg as u64) << 8)
+            | self.hop as u64
+    }
+
+    /// Inverse of [`CallAddr::tag`].
+    pub(crate) fn from_tag(tag: u64) -> Self {
+        CallAddr {
+            req: (tag >> 32) as u32,
+            step: (tag >> 24) as u8,
+            par: (tag >> 16) as u8,
+            seg: (tag >> 8) as u8,
+            hop: tag as u8,
+        }
+    }
+}
+
 /// A log-normal payload-size distribution (median + shape), clamped to
 /// `[64, max]` bytes — Fig 5's "median of a few KB with a long tail".
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -648,6 +692,25 @@ fn sample_segment(
 mod tests {
     use super::*;
     use accelflow_sim::time::Frequency;
+
+    #[test]
+    fn call_addr_tag_roundtrips() {
+        for (req, step, par, seg, hop) in [
+            (0u32, 0u8, 0u8, 0u8, 0u8),
+            (1, 2, 3, 4, 5),
+            (u32::MAX, u8::MAX, u8::MAX, u8::MAX, u8::MAX),
+            (123_456, 7, 0, 3, 11),
+        ] {
+            let addr = CallAddr {
+                req,
+                step,
+                par,
+                seg,
+                hop,
+            };
+            assert_eq!(CallAddr::from_tag(addr.tag()), addr);
+        }
+    }
 
     fn fixtures() -> (TraceLibrary, ServiceTimeModel, SimRng) {
         (

@@ -274,6 +274,30 @@ impl Telemetry {
         }
     }
 
+    /// Emits a point event at `at` carrying a payload in `arg` (e.g. a
+    /// packed call position identifying which of several in-flight
+    /// calls of one request the event belongs to).
+    #[inline]
+    pub fn instant_arg(
+        &mut self,
+        at: SimTime,
+        comp: CompId,
+        name: &'static str,
+        req: Option<u32>,
+        arg: u64,
+    ) {
+        if self.enabled {
+            self.push(Record {
+                at,
+                comp,
+                name,
+                kind: RecordKind::Instant,
+                req,
+                arg,
+            });
+        }
+    }
+
     /// Emits a counter sample at `at`.
     #[inline]
     pub fn counter(&mut self, at: SimTime, comp: CompId, name: &'static str, value: u64) {

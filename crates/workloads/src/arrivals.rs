@@ -10,7 +10,7 @@
 //! from exactly this burstiness.
 
 use accelflow_accel::timing::ServiceTimeModel;
-use accelflow_core::machine::Arrival;
+use accelflow_core::arrivals::Arrival;
 use accelflow_core::request::{ServiceId, ServiceSpec};
 use accelflow_sim::rng::SimRng;
 use accelflow_sim::time::{SimDuration, SimTime};
@@ -111,7 +111,7 @@ fn mmpp_arrivals(
             }
             t += gap;
             *counter += 1;
-            let buffer = (*counter % accelflow_core::machine::BUFFER_POOL) << 24;
+            let buffer = (*counter % accelflow_core::arrivals::BUFFER_POOL) << 24;
             arrivals.push(Arrival {
                 at: t,
                 service: ServiceId(idx),

@@ -1,0 +1,84 @@
+//! Repository hygiene guard: no source module may grow past a line
+//! budget.
+//!
+//! The machine model once lived in a single 2,400-line `machine.rs`;
+//! splitting it into the `machine/` module tree only stays effective
+//! if nothing regrows to that size. Any `.rs` file under `crates/`
+//! must stay at or below [`MAX_LINES`] physical lines, or carry an
+//! entry in [`ALLOWLIST`] with a written justification.
+
+use std::path::{Path, PathBuf};
+
+/// Line budget for one module. Generous enough for a cohesive
+/// subsystem with its unit tests; small enough that a second subsystem
+/// growing inside the file trips the guard.
+const MAX_LINES: usize = 900;
+
+/// Files allowed over budget, with the reason on record. Additions to
+/// this list should be rare and justified in the PR that makes them.
+const ALLOWLIST: &[(&str, &str)] = &[(
+    "crates/sim/src/telemetry.rs",
+    "one cohesive subsystem: ring buffer, sampler, Chrome-trace export, \
+     and report formatting share private record types; splitting would \
+     expose them for no structural gain",
+)];
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            // Skip build output if a stray target/ exists under crates/.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn no_module_exceeds_the_line_budget() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    rust_files(&root.join("crates"), &mut files);
+    assert!(files.len() > 20, "crates/ scan found too few files");
+
+    let mut over = Vec::new();
+    let mut stale_allowlist: Vec<&str> = ALLOWLIST.iter().map(|(p, _)| *p).collect();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .expect("under repo root")
+            .to_string_lossy()
+            .replace('\\', "/");
+        let lines = std::fs::read_to_string(&path)
+            .expect("readable source file")
+            .lines()
+            .count();
+        let allowed = ALLOWLIST.iter().any(|(p, _)| *p == rel);
+        if allowed {
+            stale_allowlist.retain(|p| *p != rel);
+            // Even allowlisted files get a hard ceiling so the
+            // exemption cannot absorb unbounded growth.
+            assert!(
+                lines <= 2 * MAX_LINES,
+                "{rel}: {lines} lines exceeds even the allowlisted ceiling of {}",
+                2 * MAX_LINES
+            );
+        } else if lines > MAX_LINES {
+            over.push(format!("{rel}: {lines} lines (budget {MAX_LINES})"));
+        }
+    }
+    assert!(
+        over.is_empty(),
+        "modules over the {MAX_LINES}-line budget — split them or add an \
+         allowlist entry with a justification:\n  {}",
+        over.join("\n  ")
+    );
+    assert!(
+        stale_allowlist.is_empty(),
+        "stale allowlist entries (file gone or renamed): {stale_allowlist:?}"
+    );
+}
