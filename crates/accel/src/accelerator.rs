@@ -216,6 +216,28 @@ impl Accelerator {
         self.pes.iter().filter(|p| p.busy).count()
     }
 
+    /// Indices of the PEs currently running a job (for fault injection:
+    /// a station-wide stall poisons the jobs in flight).
+    pub fn busy_pe_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.pes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.busy)
+            .map(|(i, _)| i)
+    }
+
+    /// Removes the SRAM queue entry at `index` without running it (fault
+    /// injection: an SRAM bit flip or lost credit drops the entry). The
+    /// freed slot is refilled from the overflow area exactly as a normal
+    /// dispatch would.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn drop_entry(&mut self, index: usize) -> QueueEntry {
+        self.input.take(index)
+    }
+
     /// Number of processing elements.
     pub fn pe_count(&self) -> usize {
         self.pes.len()
@@ -351,6 +373,23 @@ mod tests {
         let now = SimTime::ZERO + SimDuration::from_micros(8);
         // 8 us busy on one of 8 PEs over an 8 us window = 1/8.
         assert!((a.utilization(now) - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    fn busy_pe_enumeration_and_entry_drop() {
+        let mut a = accel();
+        a.admit_from_core(entry(1, 0)).unwrap();
+        a.admit_from_core(entry(2, 0)).unwrap();
+        a.admit_from_core(entry(3, 0)).unwrap();
+        let j = a.start_next(SimTime::ZERO).unwrap();
+        assert_eq!(a.busy_pe_indices().collect::<Vec<_>>(), vec![j.pe]);
+        // Drop the head of the two still queued; the other survives.
+        assert_eq!(a.input().len(), 2);
+        let dropped = a.drop_entry(0);
+        assert_eq!(dropped.request, RequestId(2));
+        assert_eq!(a.input().len(), 1);
+        a.complete(j.pe, SimDuration::from_micros(1));
+        assert_eq!(a.busy_pe_indices().count(), 0);
     }
 
     #[test]

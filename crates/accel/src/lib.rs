@@ -21,6 +21,8 @@
 //!   assignment (with tenant-aware scratchpad wipes, §IV-D), and
 //!   utilization stats.
 
+#![warn(missing_docs)]
+
 pub mod accelerator;
 pub mod dispatcher;
 pub mod queue;

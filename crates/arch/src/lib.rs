@@ -23,8 +23,13 @@
 //!   power/energy results.
 //! - [`area`] — the §VI silicon-area accounting (the ~2.9% overhead
 //!   claim, reproducible).
+//! - [`availability`] — per-unit dark windows for the fault injector
+//!   (`accelflow-core::faults`, `docs/RESILIENCE.md`).
+
+#![warn(missing_docs)]
 
 pub mod area;
+pub mod availability;
 pub mod cache;
 pub mod config;
 pub mod dma;

@@ -149,6 +149,20 @@ impl Tlb {
         }
     }
 
+    /// Invalidates every translation — a TLB shootdown: the OS
+    /// broadcasts invalidation IPIs to all address spaces at once (page
+    /// migration, memory reclaim). Returns the number of entries
+    /// dropped; subsequent translations pay the IOMMU walk again. The
+    /// lifetime hit/miss counters are unaffected.
+    pub fn flush_all(&mut self) -> u64 {
+        let mut dropped = 0;
+        for set in &mut self.sets {
+            dropped += set.len() as u64;
+            set.clear();
+        }
+        dropped
+    }
+
     /// Lifetime hits.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -277,6 +291,20 @@ mod tests {
         let mut t = Tlb::new(&cfg);
         assert!(!t.translate(ProcessId(2), 0x1000).hit);
         assert!(t.translate(ProcessId(2), 0x1000).hit);
+    }
+
+    #[test]
+    fn flush_all_drops_every_process_but_keeps_counters() {
+        let mut t = tlb();
+        t.translate(ProcessId(1), 0x1000);
+        t.translate(ProcessId(2), 0x2000);
+        t.translate(ProcessId(2), 0x2000); // one hit
+        let (hits, misses) = (t.hits(), t.misses());
+        assert_eq!(t.flush_all(), 2);
+        assert_eq!((t.hits(), t.misses()), (hits, misses));
+        assert!(!t.translate(ProcessId(1), 0x1000).hit);
+        assert!(!t.translate(ProcessId(2), 0x2000).hit);
+        assert_eq!(t.flush_all(), 2);
     }
 
     #[test]

@@ -455,6 +455,7 @@ mod slo_tests {
             totals: MachineTotals::default(),
             measured: SimDuration::from_millis(10),
             ended_at: SimTime::ZERO + SimDuration::from_millis(10),
+            faults: accelflow_core::FaultStats::default(),
             audit: accelflow_core::audit::AuditReport::disabled(),
             telemetry: accelflow_sim::telemetry::TelemetryReport::disabled(),
         }
@@ -508,6 +509,7 @@ mod slo_tests {
             totals: MachineTotals::default(),
             measured: SimDuration::ZERO,
             ended_at: SimTime::ZERO,
+            faults: accelflow_core::FaultStats::default(),
             audit: accelflow_core::audit::AuditReport::disabled(),
             telemetry: accelflow_sim::telemetry::TelemetryReport::disabled(),
         };

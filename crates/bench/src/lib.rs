@@ -14,6 +14,8 @@
 //! - [`paper`] — the numbers the paper reports, as constants, so every
 //!   binary can print paper-vs-measured side by side.
 
+#![warn(missing_docs)]
+
 pub mod harness;
 pub mod paper;
 pub mod sweep;

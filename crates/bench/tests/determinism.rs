@@ -64,6 +64,26 @@ fn repeated_sweeps_are_stable() {
 }
 
 #[test]
+fn fault_injection_is_sweep_invariant() {
+    // Same-seed fault runs must stay byte-identical when fanned across
+    // sweep workers: the injector owns its own seeded RNG stream, so
+    // neither worker count nor execution order may leak into a run.
+    use accelflow_core::machine::Machine;
+    use accelflow_core::FaultConfig;
+    let run_faulty = |(policy, seed): (Policy, u64)| {
+        let services = vec![socialnetwork::uniq_id(), socialnetwork::login()];
+        let mut cfg = harness::machine_config(policy, Scale::quick());
+        cfg.faults = FaultConfig::uniform(10.0);
+        Machine::run_workload(&cfg, &services, 1_500.0, Scale::quick().duration, seed)
+    };
+    let sequential: Vec<RunReport> = cells().into_iter().map(run_faulty).collect();
+    let swept = sweep::map(cells(), run_faulty);
+    assert_eq!(render(&sequential), render(&swept));
+    // The faults actually fired (otherwise this proves nothing).
+    assert!(sequential.iter().all(|r| r.faults.injected() > 0));
+}
+
+#[test]
 fn throughput_search_is_thread_count_invariant() {
     // The speculative parallel search must return the sequential
     // result for a small machine regardless of worker count.

@@ -30,6 +30,11 @@
 //! - **ATM chain termination** — no stored trace chain revisits an ATM
 //!   address without a branch on the cycle (checked statically at
 //!   construction; a branch-free cycle is an infinite dispatch loop).
+//! - **Resilience invariants** — under fault injection (see
+//!   [`faults`](crate::faults)), no PE starts a job while its station
+//!   is stalled dark, every retry stays within the configured budget,
+//!   and a drained machine holds no orphaned retry bookkeeping (a
+//!   request lost inside the recovery layer would strand one).
 //!
 //! Auditing is on by default in debug builds (`debug_assertions`) and
 //! opt-in for release builds through the `audit` cargo feature or
@@ -116,6 +121,11 @@ pub struct Auditor {
     last_atm_reads: u64,
     last_overflows: Vec<u64>,
     last_rejections: Vec<u64>,
+    // Resilience: the auditor's own copy of each station's stall
+    // window, recorded when the injector darkens a station and checked
+    // against every PE start (independent of the machine's
+    // availability bookkeeping, so a desync between the two shows up).
+    dark_until: Vec<SimTime>,
 }
 
 impl Auditor {
@@ -143,6 +153,7 @@ impl Auditor {
             last_atm_reads: 0,
             last_overflows: Vec::new(),
             last_rejections: Vec::new(),
+            dark_until: Vec::new(),
         };
         aud.check_atm_chains(atm);
         aud
@@ -341,6 +352,53 @@ impl Auditor {
         self.check(fresh, "call-finished-once", now, || {
             format!("request {req} call (step {step}, par {par}) finished twice")
         });
+    }
+
+    // ----- resilience records -----
+
+    /// The fault injector darkened `station` until `until`. Overlapping
+    /// stalls keep the later end, matching the injector's merge rule.
+    pub fn record_station_dark(&mut self, _now: SimTime, station: usize, until: SimTime) {
+        if self.dark_until.len() <= station {
+            self.dark_until.resize(station + 1, SimTime::ZERO);
+        }
+        if until > self.dark_until[station] {
+            self.dark_until[station] = until;
+        }
+    }
+
+    /// A PE on `station` started a job. Stalled-dark stations must not
+    /// start work — their queues buffer until `StallEnd` wakes them.
+    pub fn record_pe_start(&mut self, now: SimTime, station: usize) {
+        let until = self
+            .dark_until
+            .get(station)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
+        self.check(now >= until, "dark-station-start", now, || {
+            format!("station {station} started a PE while dark until {until}")
+        });
+    }
+
+    /// The recovery layer retried a call; `attempt` is 1-based and must
+    /// stay within the configured budget (the budget exhausting is the
+    /// degrade path, never a further retry).
+    pub fn record_retry(&mut self, now: SimTime, attempt: u32, max_retries: u32) {
+        self.check(attempt <= max_retries, "retry-bounded", now, || {
+            format!("retry attempt {attempt} exceeds budget {max_retries}")
+        });
+    }
+
+    /// After the run drained (`live == 0`), the recovery layer may hold
+    /// no retry bookkeeping: an `outstanding` entry means a call went
+    /// into recovery and never came out (lost request).
+    pub fn check_recovery_drained(&mut self, now: SimTime, live: u64, outstanding: u64) {
+        self.check(
+            live != 0 || outstanding == 0,
+            "recovery-drained",
+            now,
+            || format!("machine drained but {outstanding} retry entries remain"),
+        );
     }
 
     // ----- end of run -----
@@ -656,6 +714,50 @@ mod tests {
         assert!(kinds.contains(&"time-monotonic"), "{kinds:?}");
         assert!(kinds.contains(&"energy-monotonic"), "{kinds:?}");
         assert!(kinds.contains(&"counter-monotonic"), "{kinds:?}");
+    }
+
+    #[test]
+    fn dark_station_start_is_flagged() {
+        let atm = Atm::new(1);
+        let mut aud = Auditor::new(0, &atm);
+        let t0 = SimTime::ZERO;
+        let until = t0 + SimDuration::from_micros(50);
+        aud.record_station_dark(t0, 2, until);
+        // Overlapping shorter stall must not shrink the window.
+        aud.record_station_dark(t0, 2, t0 + SimDuration::from_micros(10));
+        aud.record_pe_start(t0 + SimDuration::from_micros(20), 2); // dark
+        aud.record_pe_start(t0 + SimDuration::from_micros(20), 0); // other station fine
+        aud.record_pe_start(until, 2); // boundary: window is half-open
+        let report = aud.into_report();
+        assert_eq!(report.violation_count, 1);
+        assert_eq!(report.violations[0].invariant, "dark-station-start");
+        assert!(report.violations[0].detail.contains("station 2"));
+    }
+
+    #[test]
+    fn retry_budget_breach_is_flagged() {
+        let atm = Atm::new(1);
+        let mut aud = Auditor::new(0, &atm);
+        let t = SimTime::ZERO;
+        aud.record_retry(t, 1, 3);
+        aud.record_retry(t, 3, 3); // at the budget: legal
+        aud.record_retry(t, 4, 3); // past it: the degrade path was missed
+        let report = aud.into_report();
+        assert_eq!(report.violation_count, 1);
+        assert_eq!(report.violations[0].invariant, "retry-bounded");
+    }
+
+    #[test]
+    fn orphaned_retry_entries_are_flagged_only_when_drained() {
+        let atm = Atm::new(1);
+        let mut aud = Auditor::new(0, &atm);
+        let t = SimTime::ZERO;
+        aud.check_recovery_drained(t, 3, 2); // live work may hold entries
+        aud.check_recovery_drained(t, 0, 0); // drained and clean
+        aud.check_recovery_drained(t, 0, 2); // drained with strays: lost calls
+        let report = aud.into_report();
+        assert_eq!(report.violation_count, 1);
+        assert_eq!(report.violations[0].invariant, "recovery-drained");
     }
 
     #[test]

@@ -22,6 +22,9 @@
 //!   state transition (request/call conservation, queue bounds,
 //!   monotonicity, ATM chain termination); always on in debug builds,
 //!   opt-in via the `audit` feature for release runs.
+//! - [`faults`] — seeded deterministic fault injection (stalls, DMA
+//!   errors, TLB shootdowns, queue drops, ATM misses) and the recovery
+//!   counters; see `docs/RESILIENCE.md`.
 //!
 //! Two observability layers ride along with the machine, both gated so
 //! the disabled hot path costs a single branch:
@@ -40,6 +43,7 @@
 
 pub mod arrivals;
 pub mod audit;
+pub mod faults;
 pub mod machine;
 pub mod policy;
 pub mod request;
@@ -47,6 +51,7 @@ pub mod stats;
 
 pub use arrivals::{poisson_arrivals, Arrival, BUFFER_POOL};
 pub use audit::{AuditReport, Auditor, Violation};
+pub use faults::{FaultClass, FaultConfig, FaultStats};
 pub use machine::{Machine, MachineConfig};
 pub use policy::Policy;
 pub use request::{

@@ -102,6 +102,15 @@ impl MachineCtx {
         }
     }
 
+    /// Instant record with no owning request — fault injections happen
+    /// to the machine, not to any one request.
+    #[inline]
+    pub(crate) fn tel_instant_sys(&mut self, at: SimTime, comp: CompId, name: &'static str) {
+        if let Some(t) = self.tel.as_mut() {
+            t.sink.instant(at, comp, name, None);
+        }
+    }
+
     /// Instant record carrying a payload in `arg` (e.g. the packed
     /// step/par call position on `call_done` and `timeout` records).
     #[inline]
@@ -240,6 +249,20 @@ impl MachineCtx {
         self.totals.dma_bytes = self.dma.bytes_moved();
         self.totals.atm_reads = self.lib.atm().reads();
         self.totals.energy = self.energy.report(now.max(end));
+        let faults = match self.faults.take() {
+            Some(f) => {
+                let mut s = f.stats;
+                s.stall_dark_time = f.avail.total_dark_time();
+                // Once the run drained every live request, no retry
+                // bookkeeping may remain: an orphaned entry means a
+                // call was lost inside the recovery layer.
+                if let Some(aud) = self.auditor.as_mut() {
+                    aud.check_recovery_drained(now, self.live, f.retries.len() as u64);
+                }
+                s
+            }
+            None => crate::faults::FaultStats::default(),
+        };
         let audit = match self.auditor.take() {
             Some(mut aud) => {
                 let offered: u64 = self.stats.iter().map(|s| s.offered).sum();
@@ -267,6 +290,7 @@ impl MachineCtx {
             totals: self.totals,
             measured: end.saturating_since(self.warmup_end),
             ended_at: now,
+            faults,
             audit,
             telemetry,
         }

@@ -51,24 +51,9 @@ impl MachineCtx {
             !Self::call_of(&r.program, addr.step, addr.par).segments[0].entry_is_network
         };
         let (station, outcome) = if from_core {
-            // The Enqueue instruction errors on a full queue; the core
-            // retries each instance of the type before falling back.
-            let mut entry = Some(entry);
-            let mut outcome = PushOutcome::Rejected;
-            let mut station = self.stations_of(kind).start;
-            for i in self.stations_of(kind) {
-                match self.accels[i].admit_from_core(entry.take().expect("entry present")) {
-                    Ok(()) => {
-                        outcome = PushOutcome::Accepted;
-                        station = i;
-                        break;
-                    }
-                    Err(back) => entry = Some(back),
-                }
-            }
-            (station, outcome)
+            self.admit_entry_from_core(now, kind, entry)
         } else {
-            let station = self.least_loaded_station(kind);
+            let station = self.route_station(kind, now);
             (station, self.accels[station].admit_from_dispatcher(entry))
         };
         self.energy.add_queue_accesses(1);
@@ -84,6 +69,47 @@ impl MachineCtx {
                 self.fallback_segment(now, addr, queue);
             }
         }
+    }
+
+    /// Core-side admission: the Enqueue instruction errors on a full
+    /// queue, and the core retries each instance of the type before
+    /// falling back. When fault injection is live, instances whose PEs
+    /// are stalled dark are tried *last* (their queues still buffer
+    /// work for `StallEnd`, but an available sibling is preferred —
+    /// counted as a re-dispatch).
+    fn admit_entry_from_core(
+        &mut self,
+        now: SimTime,
+        kind: AccelKind,
+        entry: QueueEntry,
+    ) -> (usize, PushOutcome) {
+        let mut entry = Some(entry);
+        let mut skipped_dark = false;
+        for pass in 0..2 {
+            for i in self.stations_of(kind) {
+                if (pass == 0) != self.station_available(i, now) {
+                    if pass == 0 {
+                        skipped_dark = true;
+                    }
+                    continue;
+                }
+                match self.accels[i].admit_from_core(entry.take().expect("entry present")) {
+                    Ok(()) => {
+                        if pass == 0 && skipped_dark {
+                            if let Some(f) = self.faults.as_mut() {
+                                f.stats.redispatches += 1;
+                            }
+                        }
+                        return (i, PushOutcome::Accepted);
+                    }
+                    Err(back) => entry = Some(back),
+                }
+            }
+            if self.faults.is_none() {
+                break; // no station is ever dark; one pass covers all
+            }
+        }
+        (self.stations_of(kind).start, PushOutcome::Rejected)
     }
 
     fn make_entry(&self, now: SimTime, addr: CallAddr) -> (AccelKind, QueueEntry) {
@@ -125,13 +151,13 @@ impl MachineCtx {
                 .take(Self::SHARED_QUEUE_WINDOW)
                 .position(|job| {
                     self.stations_of(job.kind)
-                        .any(|i| self.accels[i].has_free_pe())
+                        .any(|i| self.accels[i].has_free_pe() && self.station_available(i, now))
                 });
             let Some(pos) = pick else { return };
             let job = self.shared_queue.remove(pos).expect("position exists");
             let idx = self
                 .stations_of(job.kind)
-                .find(|&i| self.accels[i].has_free_pe())
+                .find(|&i| self.accels[i].has_free_pe() && self.station_available(i, now))
                 .expect("checked a free PE exists");
             let admitted = self.accels[idx].admit_from_dispatcher(job.entry);
             debug_assert_ne!(
@@ -147,6 +173,9 @@ impl MachineCtx {
 
     pub(crate) fn on_try_start(&mut self, now: SimTime, accel: u8, queue: &mut EventQueue<Ev>) {
         let idx = accel as usize;
+        if !self.station_available(idx, now) {
+            return; // PEs stalled dark; StallEnd re-issues TryStart
+        }
         while let Some(started) = self.accels[idx].start_next(now) {
             self.begin_pe(now, idx, started, queue);
         }
@@ -160,6 +189,9 @@ impl MachineCtx {
         queue: &mut EventQueue<Ev>,
     ) {
         let addr = CallAddr::from_tag(started.entry.tag);
+        if let Some(aud) = self.auditor.as_mut() {
+            aud.record_pe_start(now, accel_idx);
+        }
         if self.req_gone(addr.req) {
             // Owner gave up (timeout); release the PE immediately.
             self.accels[accel_idx].complete(started.pe, SimDuration::ZERO);
@@ -258,6 +290,9 @@ impl MachineCtx {
         busy_ps: u64,
         queue: &mut EventQueue<Ev>,
     ) {
+        // Take the poison flag unconditionally (before any early
+        // return) so it never outlives this PE occupancy.
+        let failed = self.pe_job_poisoned(accel as usize, pe as usize);
         self.accels[accel as usize].complete(pe as usize, SimDuration::from_picos(busy_ps));
         // Free PE: more queued work may start.
         if self.orch.single_shared_queue() {
@@ -265,6 +300,18 @@ impl MachineCtx {
         }
         queue.schedule(SimDuration::ZERO, Ev::TryStart(accel));
         if self.req_gone(addr.req) {
+            return;
+        }
+        if failed {
+            // A stall killed this job mid-flight: its output is void;
+            // the hop re-enters through recovery instead of moving on.
+            self.tel_instant(
+                now,
+                CompId::accelerator(accel as u16),
+                "pe_job_failed",
+                addr.req,
+            );
+            self.recover_call(now, addr, queue);
             return;
         }
         self.after_hop(now, addr, accel, queue);

@@ -35,6 +35,13 @@ pub(crate) struct RequestState {
     /// the whole request so termination can release slots still held by
     /// in-flight calls (e.g. siblings of a timed-out await).
     pub(crate) active_calls: u32,
+    /// Bitmask of parallel arms already completed in the *current*
+    /// step (bit `par.min(31)`), reset when the step advances. Guards
+    /// [`MachineCtx::on_timeout`] against a stale timer firing for a
+    /// call that completed while the request is still alive — the call
+    /// must not re-enter accounting (no timeout count, no error, no
+    /// second call-finished record).
+    pub(crate) completed_pars: u32,
     pub(crate) deadline: Option<SimTime>,
     pub(crate) done: bool,
     pub(crate) error: bool,
@@ -70,6 +77,7 @@ impl MachineCtx {
             step: 0,
             pending_calls: 0,
             active_calls: 0,
+            completed_pars: 0,
             deadline,
             done: false,
             error: false,
@@ -215,6 +223,7 @@ impl MachineCtx {
         }
         self.tel_instant_arg(now, CompId::MACHINE, "call_done", req, call_arg(step, par));
         let r = self.req_mut(req);
+        r.completed_pars |= 1u32 << par.min(31);
         r.active_calls = r.active_calls.saturating_sub(1);
         if error {
             r.error = true;
@@ -222,6 +231,7 @@ impl MachineCtx {
         r.pending_calls = r.pending_calls.saturating_sub(1);
         if r.pending_calls == 0 {
             r.step += 1;
+            r.completed_pars = 0;
             queue.schedule(SimDuration::ZERO, Ev::StartStep(req));
         }
     }
@@ -232,6 +242,18 @@ impl MachineCtx {
     pub(crate) fn on_timeout(&mut self, now: SimTime, req: u32, step: u8, par: u8) {
         if self.req_gone(req) {
             return;
+        }
+        // Stale-timer guard: the awaited response (or a recovery retry)
+        // completed this call before the timer fired, but a sibling arm
+        // kept the request alive. The completed call must not re-enter
+        // accounting — counting the timeout, re-recording the finish,
+        // and terminating the request here would double-complete it
+        // (flagged by the auditor's call-finished-once invariant).
+        {
+            let r = self.req(req);
+            if r.step != step as usize || r.completed_pars & (1u32 << par.min(31)) != 0 {
+                return;
+            }
         }
         self.totals.tcp_timeouts += 1;
         self.tel_instant_arg(now, CompId::MACHINE, "timeout", req, call_arg(step, par));
@@ -310,6 +332,8 @@ impl MachineCtx {
         }
         // Free the program's memory early; long runs hold many requests.
         self.requests[req as usize] = None;
+        // Drop any recovery retry budgets held by this request's calls.
+        self.prune_retries(req);
     }
 }
 

@@ -37,6 +37,7 @@
 //! | `dispatch` | accelerator input queues, the PE inner loop, RELIEF's shared queue |
 //! | `transfer` | core→accelerator submission, inter-hop payload movement, external responses |
 //! | `fallback` | CPU execution of segments (Non-acc and overflow escape) |
+//! | `resilience` | fault injection and recovery (retry/backoff, sibling re-dispatch, CPU degrade) |
 //! | `accounting` | latency breakdowns, stats/energy emission, telemetry, audit hooks, reports |
 //! | [`orchestrator`] | the [`Orchestrator`] trait and its ten per-policy implementations |
 
@@ -45,6 +46,7 @@ mod dispatch;
 mod fallback;
 mod lifecycle;
 pub mod orchestrator;
+mod resilience;
 #[cfg(test)]
 mod tests;
 mod transfer;
@@ -69,6 +71,7 @@ use accelflow_trace::kind::AccelKind;
 use accelflow_trace::templates::TraceLibrary;
 
 use crate::arrivals::{poisson_arrivals, Arrival};
+use crate::faults::{FaultClass, FaultConfig, FaultState};
 use crate::policy::Policy;
 use crate::request::{CallAddr, Program, ServiceSpec, Step, TraceCall};
 use crate::stats::{MachineTotals, RunReport, ServiceStats};
@@ -125,6 +128,12 @@ pub struct MachineConfig {
     /// queue occupancy, tenant-slot pressure). Sampling piggybacks on
     /// event delivery, so it never perturbs the event sequence.
     pub telemetry_sample: SimDuration,
+    /// Deterministic fault injection (stalls, DMA errors, TLB
+    /// shootdowns, queue drops, ATM misses) and the recovery knobs.
+    /// Disabled by default: the machine then builds no injector state,
+    /// draws no fault randomness, and emits a bit-identical event
+    /// stream. See [`crate::faults`] and `docs/RESILIENCE.md`.
+    pub faults: FaultConfig,
 }
 
 impl MachineConfig {
@@ -146,6 +155,7 @@ impl MachineConfig {
             telemetry: cfg!(feature = "telemetry"),
             telemetry_capacity: 1 << 18,
             telemetry_sample: SimDuration::from_micros(50),
+            faults: FaultConfig::disabled(),
         }
     }
 
@@ -228,6 +238,13 @@ pub enum Ev {
     FallbackDone(CallAddr),
     /// A TCP response timeout fired (§IV-B).
     Timeout { req: u32, step: u8, par: u8 },
+    /// The fault injector fires one fault of the given class; the
+    /// class's Poisson stream re-arms itself from the handler. Never
+    /// scheduled when [`MachineConfig::faults`] is disabled, so the
+    /// golden event streams are unchanged.
+    FaultInject(FaultClass),
+    /// A station's stall window may have ended; wake its queues.
+    StallEnd(u8),
 }
 
 /// The machine's shared mutable state: every hardware model, the
@@ -266,6 +283,9 @@ pub struct MachineCtx {
     pub(crate) live: u64,
     pub(crate) auditor: Option<crate::audit::Auditor>,
     pub(crate) tel: Option<Box<TelState>>,
+    /// Fault-injector state; `None` when every rate is zero, so the
+    /// fault-free hot path pays a single branch.
+    pub(crate) faults: Option<Box<FaultState>>,
 }
 
 /// The simulated server.
@@ -321,6 +341,14 @@ impl Machine {
             .audit
             .then(|| crate::audit::Auditor::new(arrivals.len(), lib.atm()));
         let tel = TelState::for_config(&cfg, &accels);
+        let faults = cfg.faults.enabled().then(|| {
+            Box::new(FaultState::new(
+                cfg.faults.clone(),
+                seed,
+                accels.len(),
+                cfg.arch.pes_per_accelerator,
+            ))
+        });
         Machine {
             ctx: MachineCtx {
                 cfg,
@@ -347,12 +375,32 @@ impl Machine {
                 live: 0,
                 auditor,
                 tel,
+                faults,
             },
         }
     }
 
     /// Convenience runner: Poisson arrivals at `rps_per_service` for
     /// each service over `duration`, then a drain window.
+    ///
+    /// ```
+    /// use accelflow_core::machine::{Machine, MachineConfig};
+    /// use accelflow_core::policy::Policy;
+    /// use accelflow_core::request::{CallSpec, ServiceSpec, StageSpec};
+    /// use accelflow_sim::time::SimDuration;
+    /// use accelflow_trace::templates::TemplateId;
+    ///
+    /// let svc = ServiceSpec::new(
+    ///     "Ping",
+    ///     vec![StageSpec::Call(CallSpec::new(TemplateId::T1))],
+    /// );
+    /// let mut cfg = MachineConfig::new(Policy::AccelFlow);
+    /// cfg.warmup = SimDuration::from_millis(1);
+    /// let report =
+    ///     Machine::run_workload(&cfg, &[svc], 500.0, SimDuration::from_millis(5), 7);
+    /// assert!(report.offered() > 0);
+    /// assert!(report.completion_ratio() > 0.99);
+    /// ```
     pub fn run_workload(
         cfg: &MachineConfig,
         services: &[ServiceSpec],
@@ -426,6 +474,12 @@ impl Machine {
                 .expect("arrival present")
                 .at;
             sim.queue_mut().schedule_at(first, Ev::Arrive(0));
+        }
+        // Arm each enabled fault class's Poisson stream (no-op, and no
+        // RNG draws, when fault injection is disabled).
+        let initial_faults = sim.model_mut().machine.ctx.draw_initial_faults();
+        for (at, class) in initial_faults {
+            sim.queue_mut().schedule_at(at, Ev::FaultInject(class));
         }
         // Generous drain: stragglers get 30 ms past the arrival window.
         let drain = end + SimDuration::from_millis(30);
@@ -522,6 +576,8 @@ impl Model for Machine {
             } => ctx.on_call_done(now, req, step, par, error, queue),
             Ev::FallbackDone(addr) => ctx.on_fallback_done(now, addr, queue),
             Ev::Timeout { req, step, par } => ctx.on_timeout(now, req, step, par),
+            Ev::FaultInject(class) => ctx.on_fault_inject(now, class, queue),
+            Ev::StallEnd(station) => ctx.on_stall_end(now, station, queue),
         }
         ctx.audit_post_event(now);
     }

@@ -124,6 +124,15 @@ pub trait Orchestrator: Sync {
     fn resubmits_external_response(&self) -> bool {
         true
     }
+
+    /// A failed trace hop is re-issued by software on a core (paying
+    /// the submit overhead per retry). The direct-transfer family
+    /// re-issues from the hardware front-end instead — retries cost
+    /// only the backoff delay. Consulted by the fault-recovery path;
+    /// see `docs/RESILIENCE.md`.
+    fn recovery_via_core(&self) -> bool {
+        true
+    }
 }
 
 /// Maps a policy to its strategy object — the one construction site.
@@ -365,6 +374,9 @@ impl Orchestrator for DirectOrch {
     fn preloads_response_trace(&self) -> bool {
         true
     }
+    fn recovery_via_core(&self) -> bool {
+        false
+    }
 }
 
 /// Control-flow rung: dispatchers also resolve branches.
@@ -393,6 +405,9 @@ impl Orchestrator for CntrFlowOrch {
     fn preloads_response_trace(&self) -> bool {
         true
     }
+    fn recovery_via_core(&self) -> bool {
+        false
+    }
 }
 
 /// The full AccelFlow design: dispatchers run glue, branches, and
@@ -420,6 +435,9 @@ impl Orchestrator for AccelFlowOrch {
         true
     }
     fn resubmits_external_response(&self) -> bool {
+        false
+    }
+    fn recovery_via_core(&self) -> bool {
         false
     }
 }
@@ -451,6 +469,9 @@ impl Orchestrator for AccelFlowDeadlineOrch {
         true
     }
     fn resubmits_external_response(&self) -> bool {
+        false
+    }
+    fn recovery_via_core(&self) -> bool {
         false
     }
 }
@@ -533,6 +554,9 @@ impl Orchestrator for IdealOrch {
     fn resubmits_external_response(&self) -> bool {
         false
     }
+    fn recovery_via_core(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]
@@ -575,6 +599,9 @@ mod tests {
                 o.resubmits_external_response(),
                 p.core_orchestrated() || p.uses_manager()
             );
+            // Fault recovery re-issues from hardware exactly where the
+            // design has direct transfers (a hardware front-end).
+            assert_eq!(o.recovery_via_core(), !p.direct_transfers());
         }
     }
 }

@@ -417,6 +417,190 @@ mod runs {
     }
 }
 
+mod resilience_tests {
+    use super::*;
+    use crate::faults::{FaultClass, FaultConfig};
+    use crate::request::{CallSpec, CyclesDist, ExternalSpec, StageSpec};
+    use accelflow_trace::templates::TemplateId;
+
+    fn mixed_services() -> Vec<ServiceSpec> {
+        vec![
+            ServiceSpec::new(
+                "Simple",
+                vec![
+                    StageSpec::Call(CallSpec::new(TemplateId::T1)),
+                    StageSpec::Cpu(CyclesDist::new(40_000.0, 0.2)),
+                    StageSpec::Call(CallSpec::new(TemplateId::T2)),
+                ],
+            ),
+            ServiceSpec::new(
+                "WithDb",
+                vec![
+                    StageSpec::Call(CallSpec::new(TemplateId::T1)),
+                    StageSpec::Call(CallSpec::new(TemplateId::T4)),
+                    StageSpec::Parallel(vec![CallSpec::new(TemplateId::T9); 2]),
+                    StageSpec::Call(CallSpec::new(TemplateId::T2)),
+                ],
+            ),
+        ]
+    }
+
+    fn faulty_run(faults: FaultConfig, rps: f64, seed: u64) -> RunReport {
+        let mut cfg = MachineConfig::new(Policy::AccelFlow);
+        cfg.warmup = SimDuration::from_millis(1);
+        cfg.audit = true;
+        cfg.faults = faults;
+        Machine::run_workload(
+            &cfg,
+            &mixed_services(),
+            rps,
+            SimDuration::from_millis(20),
+            seed,
+        )
+    }
+
+    #[test]
+    fn stale_timeout_for_a_completed_call_is_ignored() {
+        // Regression: a Timeout event whose call already completed —
+        // while a sibling arm keeps the request alive on the same step
+        // — must not re-enter accounting. Before the `completed_pars`
+        // guard it counted a timeout, re-recorded the call finish
+        // (tripping the auditor's call-finished-once invariant), and
+        // wrongfully terminated the request.
+        let mut slow = CallSpec::new(TemplateId::T4);
+        // Deterministic 5 ms external wait: no jitter, no stragglers,
+        // no losses, so the spurious timer below provably lands after
+        // arm 0 completed and before arm 1's response.
+        slow.external = ExternalSpec {
+            median: SimDuration::from_millis(5),
+            sigma: 0.0,
+            tail_p: 0.0,
+            tail_mult: 1.0,
+            loss_p: 0.0,
+        };
+        let svc = ServiceSpec::new(
+            "StaleTimer",
+            vec![StageSpec::Parallel(vec![
+                CallSpec::new(TemplateId::T1),
+                slow,
+            ])],
+        );
+        let lib = TraceLibrary::standard();
+        let timing = ServiceTimeModel::calibrated(ArchConfig::icelake().core_clock);
+        let mut arrivals = poisson_arrivals(
+            &[svc],
+            &lib,
+            &timing,
+            500.0,
+            SimDuration::from_millis(10),
+            3,
+        );
+        arrivals.truncate(1);
+        let mut cfg = MachineConfig::new(Policy::AccelFlow);
+        cfg.warmup = SimDuration::ZERO;
+        cfg.audit = true;
+        let end = SimTime::ZERO + SimDuration::from_millis(10);
+        let machine = Machine::new(cfg, vec!["StaleTimer".into()], arrivals, end, 3);
+        let mut sim = Simulation::new(machine);
+        let first = sim.model().ctx.arrivals[0].as_ref().expect("arrival").at;
+        sim.queue_mut().schedule_at(first, Ev::Arrive(0));
+        // The spurious timer: arm (step 0, par 0) is the fast T1 call,
+        // long done by 2 ms; arm 1's response arrives at ~5 ms.
+        sim.queue_mut().schedule_at(
+            SimTime::ZERO + SimDuration::from_millis(2),
+            Ev::Timeout {
+                req: 0,
+                step: 0,
+                par: 0,
+            },
+        );
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(40));
+        let now = sim.now();
+        let r = sim.into_model().ctx.into_report(now, end);
+        assert_eq!(r.totals.tcp_timeouts, 0, "stale timer must not count");
+        assert_eq!(r.completed(), 1, "the request must still complete");
+        assert_eq!(r.per_service[0].errors, 0);
+        assert!(r.audit.is_clean(), "{:?}", r.audit.violations);
+    }
+
+    #[test]
+    fn every_fault_class_injects_and_recovers() {
+        let r = faulty_run(FaultConfig::uniform(50.0), 3_000.0, 9);
+        let f = &r.faults;
+        assert!(f.stalls > 0, "{f:?}");
+        assert!(f.dma_errors > 0, "{f:?}");
+        assert!(f.tlb_shootdowns > 0, "{f:?}");
+        assert!(f.atm_misses > 0, "{f:?}");
+        assert!(f.stall_dark_time > SimDuration::ZERO);
+        assert!(f.injected() >= f.stalls + f.dma_errors);
+        // Recovery happened and no request was lost or double-counted.
+        assert!(f.recovery_actions() > 0, "{f:?}");
+        assert!(r.audit.is_clean(), "{:?}", r.audit.violations);
+        assert!(r.completion_ratio() > 0.8, "{}", r.completion_ratio());
+    }
+
+    #[test]
+    fn queue_drops_hit_backlogged_queues() {
+        // Queue-entry drops need occupied SRAM queues: slow the
+        // accelerators down so work queues up, then drop aggressively.
+        let mut cfg = MachineConfig::new(Policy::AccelFlow);
+        cfg.warmup = SimDuration::from_millis(1);
+        cfg.audit = true;
+        cfg.speedup_scale = 0.25;
+        cfg.arch.pes_per_accelerator = 2;
+        cfg.faults = FaultConfig::only(FaultClass::QueueDrop, 200.0);
+        let r = Machine::run_workload(
+            &cfg,
+            &mixed_services(),
+            5_000.0,
+            SimDuration::from_millis(20),
+            13,
+        );
+        assert!(r.faults.queue_drops > 0, "{:?}", r.faults);
+        assert!(r.audit.is_clean(), "{:?}", r.audit.violations);
+        assert!(r.completion_ratio() > 0.7, "{}", r.completion_ratio());
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_to_cpu_fallback() {
+        let mut faults = FaultConfig::only(FaultClass::DmaError, 100.0);
+        faults.max_retries = 0; // every fault goes straight to degrade
+        let r = faulty_run(faults, 2_000.0, 5);
+        assert!(r.faults.dma_errors > 0);
+        assert_eq!(r.faults.retries, 0, "budget 0 leaves no retries");
+        assert!(r.faults.degraded > 0, "{:?}", r.faults);
+        assert!(r.totals.fallbacks >= r.faults.degraded);
+        assert!(r.audit.is_clean(), "{:?}", r.audit.violations);
+        assert!(r.completion_ratio() > 0.8, "{}", r.completion_ratio());
+    }
+
+    #[test]
+    fn same_seed_fault_runs_are_identical() {
+        let a = faulty_run(FaultConfig::uniform(20.0), 2_000.0, 17);
+        let b = faulty_run(FaultConfig::uniform(20.0), 2_000.0, 17);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.completed(), b.completed());
+        assert_eq!(
+            a.aggregate_latency().percentile(99.0),
+            b.aggregate_latency().percentile(99.0)
+        );
+    }
+
+    #[test]
+    fn stalls_darken_stations_without_losing_requests() {
+        let mut faults = FaultConfig::only(FaultClass::AccelStall, 30.0);
+        faults.stall_duration = SimDuration::from_micros(200);
+        let r = faulty_run(faults, 2_000.0, 21);
+        let f = &r.faults;
+        assert!(f.stalls > 0);
+        assert!(f.stall_dark_time >= SimDuration::from_micros(100));
+        // Jobs caught mid-flight by a stall re-enter through recovery.
+        assert!(f.jobs_failed > 0, "{f:?}");
+        assert!(r.audit.is_clean(), "{:?}", r.audit.violations);
+        assert!(r.completion_ratio() > 0.8, "{}", r.completion_ratio());
+    }
+}
+
 mod instance_tests {
     use super::*;
     use crate::request::{CallSpec, CyclesDist, StageSpec};

@@ -74,6 +74,9 @@ impl MachineCtx {
                 addr.req,
                 bytes,
             );
+            if self.dma_transfer_faulted(booking.finish, addr, queue) {
+                return;
+            }
             queue.schedule_at(booking.finish, Ev::HopArrive(addr));
         }
     }
@@ -168,6 +171,9 @@ impl MachineCtx {
                         addr.req,
                         info.out_bytes,
                     );
+                    if self.dma_transfer_faulted(booking.finish, next_addr, queue) {
+                        return;
+                    }
                     queue.schedule_at(booking.finish, Ev::HopArrive(next_addr));
                 }
             }
@@ -197,6 +203,11 @@ impl MachineCtx {
                 let done_at = booking.finish + notify;
                 let comm = done_at.saturating_since(t);
                 self.charge(addr.req, |b| b.communication += comm);
+                // A corrupt result delivery re-runs the hop instead of
+                // completing the call.
+                if self.dma_transfer_faulted(done_at, addr, queue) {
+                    return;
+                }
                 let error = {
                     let r = self.req(addr.req);
                     let call = Self::call_of(&r.program, addr.step, addr.par);
@@ -219,7 +230,7 @@ impl MachineCtx {
                 self.totals.atm_reads += 1;
                 let _ = self.lib.atm_mut().load(accelflow_trace::atm::AtmAddr(0));
                 self.tel_instant(t, CompId::ATM, "atm_read", addr.req);
-                let t2 = t + self.cfg.arch.atm_read_latency;
+                let t2 = t + self.cfg.arch.atm_read_latency + self.atm_read_penalty(t, addr);
                 let next_addr = CallAddr {
                     seg: addr.seg + 1,
                     hop: 0,

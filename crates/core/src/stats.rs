@@ -194,6 +194,9 @@ pub struct RunReport {
     pub measured: SimDuration,
     /// The instant the run ended.
     pub ended_at: SimTime,
+    /// Fault-injection and recovery counters (all zeros when injection
+    /// was disabled); see `docs/RESILIENCE.md` and `docs/METRICS.md`.
+    pub faults: crate::faults::FaultStats,
     /// Invariant-audit outcome (empty/clean when auditing was off).
     pub audit: crate::audit::AuditReport,
     /// Captured telemetry: component-keyed records, track labels, and
@@ -322,6 +325,7 @@ mod tests {
             totals: MachineTotals::default(),
             measured: SimDuration::from_millis(1),
             ended_at: SimTime::ZERO + SimDuration::from_millis(1),
+            faults: crate::faults::FaultStats::default(),
             audit: crate::audit::AuditReport::disabled(),
             telemetry: accelflow_sim::telemetry::TelemetryReport::disabled(),
         };

@@ -107,6 +107,12 @@ fn stream_hash(cfg: &MachineConfig, arrivals: Vec<Arrival>, millis: u64, seed: u
 /// queues hold several entries (so scheduling-policy differences — e.g.
 /// deadline-aware reordering — show up in the stream).
 fn nominal_hash(policy: Policy) -> (u64, u64) {
+    nominal_hash_with(policy, |_| {})
+}
+
+/// [`nominal_hash`] with a config tweak applied before the run, so
+/// variations (fault injection on/off) reuse the same workload.
+fn nominal_hash_with(policy: Policy, tweak: impl FnOnce(&mut MachineConfig)) -> (u64, u64) {
     let mut cfg = MachineConfig::new(policy);
     cfg.warmup = SimDuration::from_millis(2);
     // Slow, narrow accelerators: queues hold several entries at this
@@ -118,6 +124,7 @@ fn nominal_hash(policy: Policy) -> (u64, u64) {
     // audit/telemetry feature combinations all hash one stream.
     cfg.audit = false;
     cfg.telemetry = false;
+    tweak(&mut cfg);
     stream_hash(&cfg, arrivals(6_000.0, 30, 11), 30, 11)
 }
 
@@ -184,6 +191,46 @@ fn event_streams_match_golden_hashes() {
         failures.is_empty(),
         "event streams drifted from the pre-refactor goldens:\n{}",
         failures.join("\n")
+    );
+}
+
+#[test]
+fn zero_rate_faults_keep_the_golden_streams() {
+    // A zero-rate fault config must be indistinguishable from no fault
+    // config at all: no injector state, no RNG draws, no events — the
+    // stream hashes straight back to the committed goldens. One policy
+    // per orchestration family keeps the runtime bounded.
+    use accelflow_core::FaultConfig;
+    for &(policy, nominal, _) in GOLDEN
+        .iter()
+        .filter(|(p, _, _)| matches!(p, Policy::AccelFlow | Policy::Relief | Policy::NonAcc))
+    {
+        let (h, _) = nominal_hash_with(policy, |cfg| {
+            cfg.faults = FaultConfig::uniform(0.0);
+        });
+        assert_eq!(
+            h, nominal,
+            "{policy}: zero-rate fault stream drifted from the golden hash"
+        );
+    }
+}
+
+#[test]
+fn fault_streams_are_reproducible_and_distinct() {
+    use accelflow_core::FaultConfig;
+    let faulty = |_: &()| {
+        nominal_hash_with(Policy::AccelFlow, |cfg| {
+            cfg.faults = FaultConfig::uniform(5.0);
+        })
+    };
+    let (a, events_a) = faulty(&());
+    let (b, events_b) = faulty(&());
+    assert_eq!(a, b, "same-seed fault runs must be byte-identical");
+    assert_eq!(events_a, events_b);
+    let (baseline, _) = nominal_hash(Policy::AccelFlow);
+    assert_ne!(
+        a, baseline,
+        "injected faults must actually perturb the stream"
     );
 }
 

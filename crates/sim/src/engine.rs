@@ -6,6 +6,38 @@
 //! and the model schedules follow-on events. Events with equal
 //! timestamps are delivered in the order they were scheduled, which
 //! makes every run bit-for-bit reproducible.
+//!
+//! A model that counts down, rescheduling itself until it hits zero:
+//!
+//! ```
+//! use accelflow_sim::engine::{EventQueue, Model, Simulation};
+//! use accelflow_sim::time::{SimDuration, SimTime};
+//!
+//! struct Countdown {
+//!     remaining: u32,
+//! }
+//!
+//! impl Model for Countdown {
+//!     type Event = ();
+//!     fn handle(&mut self, _now: SimTime, _ev: (), queue: &mut EventQueue<()>) {
+//!         self.remaining -= 1;
+//!         if self.remaining > 0 {
+//!             queue.schedule(SimDuration::from_micros(1), ());
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Countdown { remaining: 3 });
+//! sim.queue_mut().schedule(SimDuration::ZERO, ());
+//! // The deadline is exclusive: only the event at t=0 is delivered,
+//! // the one sitting exactly at t=1µs stays queued.
+//! sim.run_until(SimTime::ZERO + SimDuration::from_micros(1));
+//! assert_eq!(sim.model().remaining, 2);
+//! // Resume to completion; the last event lands at t=2µs.
+//! sim.run_until(SimTime::ZERO + SimDuration::from_millis(1));
+//! assert_eq!(sim.model().remaining, 0);
+//! assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_micros(2));
+//! ```
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

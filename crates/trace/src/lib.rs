@@ -50,6 +50,8 @@
 //! assert_eq!(trace.accelerator_count(), 6); // Tcp Decr Rpc Dser Dcmp Ldb
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod atm;
 pub mod builder;
 pub mod compiler;

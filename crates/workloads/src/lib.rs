@@ -22,6 +22,8 @@
 //! - [`config`] / [`json`] — JSON workload files: describe a service
 //!   mix without writing Rust.
 
+#![warn(missing_docs)]
+
 pub mod arrivals;
 pub mod config;
 pub mod json;

@@ -1,0 +1,131 @@
+//! Markdown link hygiene: every relative link in the repo's top-level
+//! and `docs/` markdown must point at a file that exists.
+//!
+//! Documentation cross-links rot silently — a renamed doc or moved
+//! binary breaks `docs/RESILIENCE.md -> docs/METRICS.md` style links
+//! with no compiler to notice. This test walks every `[text](target)`
+//! link, resolves relative targets against the linking file, and fails
+//! with the full list of dangling ones. External (`http...`), mail and
+//! pure-anchor links are skipped; a `#section` suffix on a relative
+//! link is stripped before the existence check.
+
+use std::path::{Path, PathBuf};
+
+/// Repo root: this test compiles within the workspace root package.
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Markdown files under scrutiny: top level plus `docs/`.
+fn markdown_files() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut files = Vec::new();
+    for dir in [root.clone(), root.join("docs")] {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    assert!(files.len() >= 5, "markdown sweep found too few files");
+    files
+}
+
+/// Extracts inline `[text](target)` targets from one markdown body.
+/// Fenced code blocks are skipped (they hold example syntax, not
+/// links); reference-style links are rare here and out of scope.
+fn link_targets(body: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in body.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            // Find `](`, then the matching `)`.
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                let start = i + 2;
+                if let Some(rel_end) = line[start..].find(')') {
+                    let target = &line[start..start + rel_end];
+                    targets.push(target.to_string());
+                    i = start + rel_end;
+                }
+            }
+            i += 1;
+        }
+    }
+    targets
+}
+
+fn is_external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let mut dangling = Vec::new();
+    for file in markdown_files() {
+        let body = std::fs::read_to_string(&file).expect("readable markdown");
+        let dir = file.parent().unwrap_or(Path::new("."));
+        for target in link_targets(&body) {
+            if is_external(&target) || target.is_empty() {
+                continue;
+            }
+            // Strip a `#section` anchor; the file part must exist.
+            let path_part = target.split('#').next().unwrap_or("");
+            if path_part.is_empty() {
+                continue;
+            }
+            let resolved = dir.join(path_part);
+            if !resolved.exists() {
+                dangling.push(format!(
+                    "{}: [{}] -> {}",
+                    file.strip_prefix(repo_root()).unwrap_or(&file).display(),
+                    target,
+                    resolved.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        dangling.is_empty(),
+        "dangling markdown links:\n{}",
+        dangling.join("\n")
+    );
+}
+
+#[test]
+fn link_extraction_handles_the_common_shapes() {
+    let body = "\
+See [the design](DESIGN.md) and [metrics](docs/METRICS.md#faults).\n\
+External [paper](https://arxiv.org/abs/0000.0000) and [anchor](#local).\n\
+```\n\
+[not a link](inside/a/fence.md)\n\
+```\n";
+    let targets = link_targets(body);
+    assert_eq!(
+        targets,
+        vec![
+            "DESIGN.md",
+            "docs/METRICS.md#faults",
+            "https://arxiv.org/abs/0000.0000",
+            "#local",
+        ]
+    );
+    assert!(is_external(&targets[2]));
+    assert!(is_external(&targets[3]));
+}
