@@ -17,12 +17,6 @@ use accelflow_trace::kind::AccelKind;
 use crate::dispatcher::QueuePolicy;
 use crate::queue::{InputQueue, PushOutcome, QueueEntry, TenantId};
 
-#[derive(Clone, Copy, Debug, Default)]
-struct PeSlot {
-    busy: bool,
-    last_tenant: Option<TenantId>,
-}
-
 /// Outcome of offering work to the accelerator.
 pub type AdmitOutcome = PushOutcome;
 
@@ -62,7 +56,12 @@ pub struct Accelerator {
     unit: UnitId,
     input: InputQueue,
     policy: QueuePolicy,
-    pes: Vec<PeSlot>,
+    /// PE occupancy in struct-of-arrays form: one busy bitmask plus a
+    /// dense last-tenant array, so the dispatch inner loop is bit math
+    /// over a word and a linear probe of a small contiguous array.
+    pe_busy: u64,
+    pe_full: u64,
+    pe_last_tenant: Vec<Option<TenantId>>,
     tlb: Tlb,
     busy: BusyTracker,
     processed: u64,
@@ -72,12 +71,16 @@ pub struct Accelerator {
 impl Accelerator {
     /// Creates an accelerator with the configured queue/PE geometry.
     pub fn new(kind: AccelKind, unit: UnitId, cfg: &ArchConfig, policy: QueuePolicy) -> Self {
+        let n = cfg.pes_per_accelerator;
+        assert!((1..=64).contains(&n), "pes_per_accelerator must be 1..=64");
         Accelerator {
             kind,
             unit,
             input: InputQueue::new(cfg.input_queue_entries, cfg.overflow_entries),
             policy,
-            pes: vec![PeSlot::default(); cfg.pes_per_accelerator],
+            pe_busy: 0,
+            pe_full: if n == 64 { !0 } else { (1u64 << n) - 1 },
+            pe_last_tenant: vec![None; n],
             tlb: Tlb::new(cfg),
             busy: BusyTracker::new(),
             processed: 0,
@@ -119,7 +122,7 @@ impl Accelerator {
 
     /// Whether any PE is idle.
     pub fn has_free_pe(&self) -> bool {
-        self.pes.iter().any(|pe| !pe.busy)
+        self.pe_busy != self.pe_full
     }
 
     /// Whether work is waiting.
@@ -131,29 +134,39 @@ impl Accelerator {
     /// move the policy's pick onto a PE, preferring a PE last used by
     /// the same tenant (avoids a scratchpad wipe).
     pub fn start_next(&mut self, now: SimTime) -> Option<StartedJob> {
-        if !self.has_free_pe() || self.input.is_empty() {
+        if self.pe_busy == self.pe_full || self.input.is_empty() {
             return None;
         }
-        let refs: Vec<&QueueEntry> = self.input.iter().collect();
-        let idx = self.policy.select(&refs, now)?;
+        // FIFO takes the head without inspecting the queue; the other
+        // policies scan the entries in place — no per-start allocation.
+        let idx = match self.policy {
+            QueuePolicy::Fifo => 0,
+            _ => self.policy.select_from(self.input.iter(), now)?,
+        };
         let entry = self.input.take(idx);
 
         // Prefer a free PE whose previous occupant shares the tenant.
-        let pe = self
-            .pes
-            .iter()
-            .position(|p| !p.busy && p.last_tenant == Some(entry.tenant))
-            .or_else(|| self.pes.iter().position(|p| !p.busy))
-            .expect("checked a PE is free");
-        let tenant_wipe = match self.pes[pe].last_tenant {
+        let free = !self.pe_busy & self.pe_full;
+        let mut pe = None;
+        let mut probe = free;
+        while probe != 0 {
+            let i = probe.trailing_zeros() as usize;
+            if self.pe_last_tenant[i] == Some(entry.tenant) {
+                pe = Some(i);
+                break;
+            }
+            probe &= probe - 1;
+        }
+        let pe = pe.unwrap_or_else(|| free.trailing_zeros() as usize);
+        let tenant_wipe = match self.pe_last_tenant[pe] {
             Some(t) => t != entry.tenant,
             None => false,
         };
         if tenant_wipe {
             self.tenant_wipes += 1;
         }
-        self.pes[pe].busy = true;
-        self.pes[pe].last_tenant = Some(entry.tenant);
+        self.pe_busy |= 1u64 << pe;
+        self.pe_last_tenant[pe] = Some(entry.tenant);
         let queueing = now.saturating_since(entry.enqueued_at);
         Some(StartedJob {
             entry,
@@ -170,8 +183,8 @@ impl Accelerator {
     ///
     /// Panics if the PE was not busy.
     pub fn complete(&mut self, pe: usize, busy_time: SimDuration) {
-        assert!(self.pes[pe].busy, "completing an idle PE");
-        self.pes[pe].busy = false;
+        assert!(self.pe_busy & (1u64 << pe) != 0, "completing an idle PE");
+        self.pe_busy &= !(1u64 << pe);
         self.busy.add_busy(busy_time);
         self.processed += 1;
     }
@@ -203,7 +216,7 @@ impl Accelerator {
 
     /// PE utilization over `[0, now]`.
     pub fn utilization(&self, now: SimTime) -> f64 {
-        let window = now.as_picos() as f64 * self.pes.len() as f64;
+        let window = now.as_picos() as f64 * self.pe_last_tenant.len() as f64;
         if window == 0.0 {
             0.0
         } else {
@@ -213,17 +226,14 @@ impl Accelerator {
 
     /// Number of busy PEs right now.
     pub fn busy_pes(&self) -> usize {
-        self.pes.iter().filter(|p| p.busy).count()
+        self.pe_busy.count_ones() as usize
     }
 
     /// Indices of the PEs currently running a job (for fault injection:
     /// a station-wide stall poisons the jobs in flight).
     pub fn busy_pe_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        self.pes
-            .iter()
-            .enumerate()
-            .filter(|(_, p)| p.busy)
-            .map(|(i, _)| i)
+        let mask = self.pe_busy;
+        (0..self.pe_last_tenant.len()).filter(move |i| mask & (1u64 << i) != 0)
     }
 
     /// Removes the SRAM queue entry at `index` without running it (fault
@@ -240,7 +250,7 @@ impl Accelerator {
 
     /// Number of processing elements.
     pub fn pe_count(&self) -> usize {
-        self.pes.len()
+        self.pe_last_tenant.len()
     }
 
     /// Cumulative PE busy time (sum over PEs). Windowed utilization

@@ -54,50 +54,60 @@ impl QueuePolicy {
     /// Chooses which SRAM queue index the input dispatcher moves into
     /// the free PE next. Returns `None` when the queue slice is empty.
     pub fn select(self, entries: &[&QueueEntry], now: SimTime) -> Option<usize> {
-        if entries.is_empty() {
-            return None;
-        }
+        self.select_from(entries.iter().copied(), now)
+    }
+
+    /// [`QueuePolicy::select`] over any entry iterator, so callers can
+    /// scan a queue in place without collecting a slice of references
+    /// (the dispatch inner loop runs this on every PE start).
+    pub fn select_from<'a, I>(self, mut entries: I, now: SimTime) -> Option<usize>
+    where
+        I: Iterator<Item = &'a QueueEntry>,
+    {
+        let head = entries.next()?;
         match self {
             QueuePolicy::Fifo => Some(0),
             QueuePolicy::Priority => {
-                let best = entries
-                    .iter()
-                    .enumerate()
-                    .max_by(|(ia, a), (ib, b)| {
-                        a.priority.cmp(&b.priority).then(ib.cmp(ia)) // FIFO among equals
-                    })
-                    .map(|(i, _)| i);
-                best
+                // Highest priority wins; FIFO among equals (strict
+                // greater-than keeps the earliest index).
+                let mut best = (0, head.priority);
+                for (i, e) in entries.enumerate() {
+                    if e.priority > best.1 {
+                        best = (i + 1, e.priority);
+                    }
+                }
+                Some(best.0)
             }
             QueuePolicy::DeadlineAware => {
                 // Earliest-deadline-first among tagged entries; if the
                 // head has comfortable slack and someone is about to
                 // violate, the urgent one jumps the line (§IV-C's
                 // slack-passing reorder).
-                let urgent = entries
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, e)| e.deadline.map(|d| (i, d)))
-                    .min_by_key(|&(i, d)| (d, i));
-                match urgent {
-                    Some((i, deadline)) => {
-                        let head_deadline = entries[0].deadline;
-                        match head_deadline {
-                            // Head itself is the most urgent or equally
-                            // urgent: FIFO.
-                            Some(hd) if hd <= deadline => Some(0),
-                            // Head has no deadline or later deadline:
-                            // run the urgent entry if it is at risk,
-                            // otherwise stay FIFO.
-                            _ => {
-                                if deadline <= now + SimDuration::from_micros(50) {
-                                    Some(i)
-                                } else {
-                                    Some(0)
-                                }
-                            }
+                let head_deadline = head.deadline;
+                let mut urgent = head_deadline.map(|d| (0usize, d));
+                for (i, e) in entries.enumerate() {
+                    if let Some(d) = e.deadline {
+                        if urgent.map(|(_, ud)| d < ud).unwrap_or(true) {
+                            urgent = Some((i + 1, d));
                         }
                     }
+                }
+                match urgent {
+                    Some((i, deadline)) => match head_deadline {
+                        // Head itself is the most urgent or equally
+                        // urgent: FIFO.
+                        Some(hd) if hd <= deadline => Some(0),
+                        // Head has no deadline or later deadline:
+                        // run the urgent entry if it is at risk,
+                        // otherwise stay FIFO.
+                        _ => {
+                            if deadline <= now + SimDuration::from_micros(50) {
+                                Some(i)
+                            } else {
+                                Some(0)
+                            }
+                        }
+                    },
                     None => Some(0),
                 }
             }

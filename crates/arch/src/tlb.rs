@@ -50,7 +50,17 @@ struct TlbTag {
 /// ```
 #[derive(Clone, Debug)]
 pub struct Tlb {
-    sets: Vec<Vec<TlbTag>>,
+    /// All tags in one flat arena, `ways` slots per set: set `s`
+    /// occupies `tags[s * ways .. s * ways + lens[s]]`. One contiguous
+    /// allocation instead of a `Vec` per set keeps the per-translation
+    /// probe a single indexed slice scan.
+    tags: Vec<TlbTag>,
+    /// Occupied slots per set.
+    lens: Vec<u16>,
+    n_sets: usize,
+    /// `n_sets - 1` when the set count is a power of two (the common
+    /// geometry): index extraction is then a mask instead of a divide.
+    set_mask: Option<usize>,
     ways: usize,
     page_shift: u32,
     hit_latency: SimDuration,
@@ -68,8 +78,16 @@ impl Tlb {
     pub fn new(cfg: &ArchConfig) -> Self {
         let ways = cfg.accel_tlb_ways.max(1);
         let sets = (cfg.accel_tlb_entries / ways).max(1);
+        let empty = TlbTag {
+            pid: ProcessId(0),
+            page: 0,
+            stamp: 0,
+        };
         Tlb {
-            sets: vec![Vec::new(); sets],
+            tags: vec![empty; sets * ways],
+            lens: vec![0; sets],
+            n_sets: sets,
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
             ways,
             page_shift: cfg.page_bytes.trailing_zeros(),
             hit_latency: cfg.cycles(cfg.tlb_hit_cycles),
@@ -80,18 +98,31 @@ impl Tlb {
         }
     }
 
+    /// Set index for `(pid, page)`. Folds high page bits into the
+    /// index: buffer arenas sit at large power-of-two strides, which a
+    /// plain modulo would alias onto a single set.
+    #[inline]
+    fn set_index(&self, pid: ProcessId, page: u64) -> usize {
+        let mixed = page ^ (page >> 8) ^ (page >> 16) ^ ((pid.0 as u64) << 4);
+        match self.set_mask {
+            Some(mask) => (mixed as usize) & mask,
+            None => (mixed as usize) % self.n_sets,
+        }
+    }
+
     /// Translates the page containing `vaddr` for `pid`, updating LRU
     /// state and filling on miss.
     pub fn translate(&mut self, pid: ProcessId, vaddr: u64) -> TlbAccess {
-        let page = vaddr >> self.page_shift;
-        // Fold high page bits into the index: buffer arenas sit at
-        // large power-of-two strides, which a plain modulo would alias
-        // onto a single set.
-        let mixed = page ^ (page >> 8) ^ (page >> 16) ^ ((pid.0 as u64) << 4);
-        let set_idx = (mixed as usize) % self.sets.len();
+        self.translate_page(pid, vaddr >> self.page_shift)
+    }
+
+    fn translate_page(&mut self, pid: ProcessId, page: u64) -> TlbAccess {
+        let set_idx = self.set_index(pid, page);
         self.clock += 1;
         let stamp = self.clock;
-        let set = &mut self.sets[set_idx];
+        let base = set_idx * self.ways;
+        let len = self.lens[set_idx] as usize;
+        let set = &mut self.tags[base..base + len];
         if let Some(tag) = set.iter_mut().find(|t| t.pid == pid && t.page == page) {
             tag.stamp = stamp;
             self.hits += 1;
@@ -101,17 +132,21 @@ impl Tlb {
             };
         }
         self.misses += 1;
-        if set.len() >= self.ways {
-            // Evict least recently used.
+        if len >= self.ways {
+            // Evict least recently used: the last slot fills the LRU
+            // hole and the new tag takes the freed last slot.
             let lru = set
                 .iter()
                 .enumerate()
                 .min_by_key(|(_, t)| t.stamp)
                 .map(|(i, _)| i)
                 .expect("set is non-empty");
-            set.swap_remove(lru);
+            set[lru] = set[len - 1];
+            set[len - 1] = TlbTag { pid, page, stamp };
+        } else {
+            self.tags[base + len] = TlbTag { pid, page, stamp };
+            self.lens[set_idx] = (len + 1) as u16;
         }
-        set.push(TlbTag { pid, page, stamp });
         TlbAccess {
             hit: false,
             latency: self.hit_latency + self.walk_latency,
@@ -126,13 +161,12 @@ impl Tlb {
         vaddr: u64,
         bytes: u64,
     ) -> (SimDuration, u32) {
-        let page_bytes = 1u64 << self.page_shift;
         let first = vaddr >> self.page_shift;
         let last = (vaddr + bytes.max(1) - 1) >> self.page_shift;
         let mut total = SimDuration::ZERO;
         let mut misses = 0;
         for page in first..=last {
-            let a = self.translate(pid, page * page_bytes);
+            let a = self.translate_page(pid, page);
             total += a.latency;
             if !a.hit {
                 misses += 1;
@@ -144,8 +178,18 @@ impl Tlb {
     /// Invalidates all translations for `pid` (e.g. on context switch
     /// or tenant change).
     pub fn flush_process(&mut self, pid: ProcessId) {
-        for set in &mut self.sets {
-            set.retain(|t| t.pid != pid);
+        for s in 0..self.n_sets {
+            let base = s * self.ways;
+            let len = self.lens[s] as usize;
+            let mut keep = 0;
+            for i in 0..len {
+                let t = self.tags[base + i];
+                if t.pid != pid {
+                    self.tags[base + keep] = t;
+                    keep += 1;
+                }
+            }
+            self.lens[s] = keep as u16;
         }
     }
 
@@ -156,9 +200,9 @@ impl Tlb {
     /// lifetime hit/miss counters are unaffected.
     pub fn flush_all(&mut self) -> u64 {
         let mut dropped = 0;
-        for set in &mut self.sets {
-            dropped += set.len() as u64;
-            set.clear();
+        for len in &mut self.lens {
+            dropped += u64::from(*len);
+            *len = 0;
         }
         dropped
     }

@@ -42,8 +42,6 @@
 //! are collected into the run's [`AuditReport`]; debug builds
 //! additionally panic at report time so tests fail loudly.
 
-use std::collections::HashMap;
-
 use accelflow_sim::time::{SimDuration, SimTime};
 use accelflow_trace::atm::{Atm, AtmAddr};
 use accelflow_trace::ir::Slot;
@@ -108,10 +106,13 @@ pub struct Auditor {
     // Call / tenant-slot conservation.
     calls_started: u64,
     calls_ended: u64,
-    /// Per live request, the packed `(step << 8) | par` positions whose
-    /// completion (CallDone or Timeout) was already delivered — pruned
-    /// on termination so the map stays bounded by in-flight requests.
-    finished_calls: HashMap<u32, Vec<u16>>,
+    /// Per request (dense-indexed by arrival number, like
+    /// `terminated_flags`), the packed `(step << 8) | par` positions
+    /// whose completion (CallDone or Timeout) was already delivered —
+    /// cleared on termination. Dense slots replace the former
+    /// `HashMap`: the hot-path duplicate check becomes one bounds-free
+    /// index plus a scan of a few inline entries, no hashing.
+    finished_calls: Vec<Vec<u16>>,
     // Monotonicity snapshots.
     last_event_time: SimTime,
     last_core_busy: SimDuration,
@@ -144,7 +145,7 @@ impl Auditor {
             terminated_flags: vec![false; n_requests],
             calls_started: 0,
             calls_ended: 0,
-            finished_calls: HashMap::new(),
+            finished_calls: vec![Vec::new(); n_requests],
             last_event_time: SimTime::ZERO,
             last_core_busy: SimDuration::ZERO,
             last_accel_busy: SimDuration::ZERO,
@@ -323,7 +324,9 @@ impl Auditor {
         // The per-call finish log only needs to cover live requests;
         // stale events for this request are dropped by the machine's
         // liveness guards before they could re-finish a call.
-        self.finished_calls.remove(&idx);
+        if let Some(seen) = self.finished_calls.get_mut(idx as usize) {
+            seen.clear();
+        }
     }
 
     /// A trace call acquired its per-tenant slot.
@@ -344,7 +347,12 @@ impl Auditor {
     /// the liveness guards.
     pub fn record_call_finished(&mut self, now: SimTime, req: u32, step: u8, par: u8) {
         let key = ((step as u16) << 8) | par as u16;
-        let seen = self.finished_calls.entry(req).or_default();
+        if self.finished_calls.len() <= req as usize {
+            // Requests beyond the declared arrival count (defensive —
+            // the machine never issues them).
+            self.finished_calls.resize(req as usize + 1, Vec::new());
+        }
+        let seen = &mut self.finished_calls[req as usize];
         let fresh = !seen.contains(&key);
         if fresh {
             seen.push(key);

@@ -55,8 +55,6 @@
 //! assert!(report.faults.injected() > 0);
 //! ```
 
-use std::collections::HashMap;
-
 use accelflow_arch::availability::AvailabilitySet;
 use accelflow_sim::rng::SimRng;
 use accelflow_sim::time::SimDuration;
@@ -307,10 +305,14 @@ pub(crate) struct FaultState {
     /// Armed ATM misses, consumed by the next synchronous ATM read.
     pub(crate) pending_atm_misses: u32,
     /// Retry attempts per call-position tag ([`CallAddr::tag`]); pruned
-    /// on degrade and at request termination.
+    /// on degrade and at request termination. A flat `(tag, attempts)`
+    /// list rather than a `HashMap`: pruning runs on *every* request
+    /// termination, and the live set is bounded by in-flight faulted
+    /// calls (typically zero to a handful), so a linear scan over a few
+    /// contiguous pairs beats hashing — and costs nothing when empty.
     ///
     /// [`CallAddr::tag`]: crate::request::CallAddr
-    pub(crate) retries: HashMap<u64, u32>,
+    pub(crate) retries: Vec<(u64, u32)>,
     pub(crate) stats: FaultStats,
 }
 
@@ -332,7 +334,7 @@ impl FaultState {
             pes_per_station,
             pending_dma_errors: 0,
             pending_atm_misses: 0,
-            retries: HashMap::new(),
+            retries: Vec::new(),
             stats: FaultStats::default(),
         }
     }

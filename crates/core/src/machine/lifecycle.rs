@@ -49,17 +49,15 @@ pub(crate) struct RequestState {
 
 impl MachineCtx {
     pub(crate) fn on_arrive(&mut self, now: SimTime, idx: u32, queue: &mut EventQueue<Ev>) {
+        // Arrivals are stored reversed and admitted strictly in order,
+        // so the current one is the tail; popping it frees its payload
+        // now instead of leaving a tombstone for the run's lifetime.
+        let arrival = self.arrivals.pop().expect("arrival taken once");
         // Chain the next arrival.
-        if (idx as usize + 1) < self.arrivals.len() {
-            let at = self.arrivals[idx as usize + 1]
-                .as_ref()
-                .expect("arrival present")
-                .at;
+        if let Some(next) = self.arrivals.last() {
+            let at = next.at;
             queue.schedule_at(at, Ev::Arrive(idx + 1));
         }
-        let arrival = self.arrivals[idx as usize]
-            .take()
-            .expect("arrival taken once");
         let measured = now >= self.warmup_end && now < self.end;
         let deadline = arrival.program.slo_slack.map(|slack| {
             let est = self.unloaded_estimate(&arrival.program);
@@ -68,7 +66,7 @@ impl MachineCtx {
         if measured {
             self.stats[arrival.service.0].offered += 1;
         }
-        self.requests[idx as usize] = Some(RequestState {
+        let slot = self.requests.insert(RequestState {
             service: arrival.service,
             tenant: arrival.tenant,
             arrival: now,
@@ -82,6 +80,7 @@ impl MachineCtx {
             done: false,
             error: false,
         });
+        self.req_slots[idx as usize] = slot;
         self.live += 1;
         if let Some(aud) = self.auditor.as_mut() {
             aud.record_admit(now, idx, measured);
@@ -269,7 +268,8 @@ impl MachineCtx {
     }
 
     pub(crate) fn complete_request(&mut self, now: SimTime, req: u32) {
-        let r = self.requests[req as usize].as_mut().expect("request alive");
+        let slot = self.req_slots[req as usize];
+        let r = self.requests.get_mut(slot).expect("request alive");
         if r.done {
             return;
         }
@@ -294,7 +294,7 @@ impl MachineCtx {
             }
         }
         self.tel_instant(now, CompId::MACHINE, "done", req);
-        let r = self.requests[req as usize].as_mut().expect("request alive");
+        let r = self.requests.get_mut(slot).expect("request alive");
         let latency = now.saturating_since(r.arrival);
         if r.measured {
             let svc = r.service.0;
@@ -330,8 +330,10 @@ impl MachineCtx {
             }
             stats.app_logic += app;
         }
-        // Free the program's memory early; long runs hold many requests.
-        self.requests[req as usize] = None;
+        // Free the slot: the slab recycles it for the next admission,
+        // and the bumped generation turns any straggler lookup through
+        // `req_slots` into a miss (`req_gone`) rather than an alias.
+        self.requests.remove(slot);
         // Drop any recovery retry budgets held by this request's calls.
         self.prune_retries(req);
     }

@@ -66,6 +66,7 @@ use accelflow_arch::topology::{ChipletLayout, Endpoint, UnitId};
 use accelflow_sim::engine::{EventQueue, Model, Simulation};
 use accelflow_sim::resource::ServerPool;
 use accelflow_sim::rng::SimRng;
+use accelflow_sim::slab::{Slab, SlotId};
 use accelflow_sim::time::{SimDuration, SimTime};
 use accelflow_trace::kind::AccelKind;
 use accelflow_trace::templates::TraceLibrary;
@@ -266,9 +267,29 @@ pub struct MachineCtx {
     pub(crate) cores: ServerPool,
     pub(crate) manager: ServerPool,
     pub(crate) accels: Vec<Accelerator>,
+    /// Struct-of-arrays station mirrors for the dispatch scans: the
+    /// per-station input backlog, and a free-PE bitmask (station `i`
+    /// is bit `i % 64` of word `i / 64`). Resynced at every
+    /// accelerator mutation site via [`MachineCtx::sync_station`] so
+    /// routing walks these contiguous words instead of dereferencing
+    /// each [`Accelerator`].
+    pub(crate) station_backlog: Vec<u32>,
+    pub(crate) station_free: Vec<u64>,
     pub(crate) shared_queue: VecDeque<SharedJob>,
-    pub(crate) requests: Vec<Option<RequestState>>,
-    pub(crate) arrivals: Vec<Option<Arrival>>,
+    /// Live per-request state. Requests live for microseconds while a
+    /// run spans millions of arrivals, so the table is a recycling slab
+    /// rather than a `Vec<Option<_>>` indexed by arrival number: the
+    /// live set stays packed in the first few dozen slots (cache-warm)
+    /// and the footprint is bounded by peak concurrency, not run
+    /// length. `req_slots` maps the stable arrival index carried in
+    /// events to the current slab handle; generation tags turn stale
+    /// handles (freed requests) into misses instead of aliasing.
+    pub(crate) requests: Slab<RequestState>,
+    pub(crate) req_slots: Vec<SlotId>,
+    /// Pending arrivals, stored *reversed* so the strictly in-order
+    /// admission chain consumes them with `pop()` — each `Arrive`
+    /// frees its payload immediately instead of leaving a tombstone.
+    pub(crate) arrivals: Vec<Arrival>,
     pub(crate) stats: Vec<ServiceStats>,
     pub(crate) totals: MachineTotals,
     pub(crate) energy: EnergyMeter,
@@ -334,7 +355,7 @@ impl Machine {
             .collect();
         let stats = service_names.iter().map(ServiceStats::new).collect();
         let energy = EnergyMeter::new(EnergyModel::mcpat_like(), cfg.arch.cores, AccelKind::COUNT);
-        let requests = (0..arrivals.len()).map(|_| None).collect();
+        let req_slots = vec![SlotId::INVALID; arrivals.len()];
         let warmup_end = SimTime::ZERO + cfg.warmup;
         let lib = TraceLibrary::standard();
         let auditor = cfg
@@ -349,7 +370,8 @@ impl Machine {
                 cfg.arch.pes_per_accelerator,
             ))
         });
-        Machine {
+        let n_stations = accels.len();
+        let mut machine = Machine {
             ctx: MachineCtx {
                 cfg,
                 orch,
@@ -361,9 +383,16 @@ impl Machine {
                 cores,
                 manager,
                 accels,
+                station_backlog: vec![0; n_stations],
+                station_free: vec![0; n_stations.div_ceil(64)],
                 shared_queue: VecDeque::new(),
-                requests,
-                arrivals: arrivals.into_iter().map(Some).collect(),
+                requests: Slab::with_capacity(64),
+                req_slots,
+                arrivals: {
+                    let mut a = arrivals;
+                    a.reverse();
+                    a
+                },
                 stats,
                 totals: MachineTotals::default(),
                 energy,
@@ -377,7 +406,11 @@ impl Machine {
                 tel,
                 faults,
             },
+        };
+        for i in 0..n_stations {
+            machine.ctx.sync_station(i);
         }
+        machine
     }
 
     /// Convenience runner: Poisson arrivals at `rps_per_service` for
@@ -468,12 +501,9 @@ impl Machine {
         // schedule path allocation-free.
         let backlog = sim.model().machine.ctx.arrivals.len().clamp(256, 16_384);
         sim.queue_mut().reserve(backlog);
-        if !sim.model().machine.ctx.arrivals.is_empty() {
-            let first = sim.model().machine.ctx.arrivals[0]
-                .as_ref()
-                .expect("arrival present")
-                .at;
-            sim.queue_mut().schedule_at(first, Ev::Arrive(0));
+        if let Some(first) = sim.model().machine.ctx.arrivals.last() {
+            let at = first.at;
+            sim.queue_mut().schedule_at(at, Ev::Arrive(0));
         }
         // Arm each enabled fault class's Poisson stream (no-op, and no
         // RNG draws, when fault injection is disabled).
@@ -507,15 +537,49 @@ impl MachineCtx {
     }
 
     /// The least-backlogged station of a kind (hardware routes new work
-    /// to the emptiest instance).
+    /// to the emptiest instance). Reads the SoA backlog mirror.
     pub(crate) fn least_loaded_station(&self, kind: AccelKind) -> usize {
-        self.stations_of(kind)
-            .min_by_key(|&i| self.accels[i].input().backlog())
+        let range = self.stations_of(kind);
+        debug_assert!(
+            range
+                .clone()
+                .all(|i| self.station_backlog[i] as usize == self.accels[i].input().backlog()),
+            "station_backlog mirror out of sync"
+        );
+        range
+            .min_by_key(|&i| self.station_backlog[i])
             .expect("at least one instance")
     }
 
+    /// Resynchronizes station `i`'s mirror row after an accelerator
+    /// mutation (admission, job start, completion, entry drop).
+    #[inline]
+    pub(crate) fn sync_station(&mut self, i: usize) {
+        self.station_backlog[i] = self.accels[i].input().backlog() as u32;
+        let bit = 1u64 << (i % 64);
+        if self.accels[i].has_free_pe() {
+            self.station_free[i / 64] |= bit;
+        } else {
+            self.station_free[i / 64] &= !bit;
+        }
+    }
+
+    /// Mirror read of [`Accelerator::has_free_pe`].
+    #[inline]
+    pub(crate) fn station_has_free_pe(&self, i: usize) -> bool {
+        let free = self.station_free[i / 64] & (1u64 << (i % 64)) != 0;
+        debug_assert_eq!(
+            free,
+            self.accels[i].has_free_pe(),
+            "station_free mirror out of sync at station {i}"
+        );
+        free
+    }
+
     pub(crate) fn req(&self, idx: u32) -> &RequestState {
-        self.requests[idx as usize].as_ref().expect("request alive")
+        self.requests
+            .get(self.req_slots[idx as usize])
+            .expect("request alive")
     }
 
     /// True when the request already terminated — either still parked
@@ -524,11 +588,15 @@ impl MachineCtx {
     /// request) must check this before touching request state:
     /// termination frees the slot, so `req()` would panic.
     pub(crate) fn req_gone(&self, idx: u32) -> bool {
-        self.requests[idx as usize].as_ref().is_none_or(|r| r.done)
+        self.requests
+            .get(self.req_slots[idx as usize])
+            .is_none_or(|r| r.done)
     }
 
     pub(crate) fn req_mut(&mut self, idx: u32) -> &mut RequestState {
-        self.requests[idx as usize].as_mut().expect("request alive")
+        self.requests
+            .get_mut(self.req_slots[idx as usize])
+            .expect("request alive")
     }
 
     pub(crate) fn call_of(program: &Program, step: u8, par: u8) -> &TraceCall {

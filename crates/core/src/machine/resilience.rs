@@ -64,7 +64,7 @@ impl MachineCtx {
         let lit = self
             .stations_of(kind)
             .filter(|&i| self.station_available(i, now))
-            .min_by_key(|&i| self.accels[i].input().backlog());
+            .min_by_key(|&i| self.station_backlog[i]);
         match lit {
             Some(station) => {
                 self.faults
@@ -170,6 +170,7 @@ impl MachineCtx {
         let idx = f.rng.index(len);
         f.stats.queue_drops += 1;
         let entry = self.accels[station].drop_entry(idx);
+        self.sync_station(station);
         self.tel_instant_sys(now, CompId::accelerator(station as u16), "fault_queue_drop");
         self.recover_call(now, CallAddr::from_tag(entry.tag), queue);
     }
@@ -252,11 +253,20 @@ impl MachineCtx {
         let (spent, max_retries) = {
             let f = self.faults.as_mut().expect("recovery implies injector");
             let max = f.cfg.max_retries;
-            (*f.retries.entry(tag).or_insert(0), max)
+            let spent = match f.retries.iter().find(|(t, _)| *t == tag) {
+                Some(&(_, n)) => n,
+                None => {
+                    f.retries.push((tag, 0));
+                    0
+                }
+            };
+            (spent, max)
         };
         if spent >= max_retries {
             let f = self.faults.as_mut().expect("recovery implies injector");
-            f.retries.remove(&tag);
+            if let Some(pos) = f.retries.iter().position(|(t, _)| *t == tag) {
+                f.retries.swap_remove(pos);
+            }
             f.stats.degraded += 1;
             self.totals.fallbacks += 1;
             self.tel_instant_arg(
@@ -271,7 +281,12 @@ impl MachineCtx {
         }
         let (attempt, backoff) = {
             let f = self.faults.as_mut().expect("recovery implies injector");
-            let a = f.retries.get_mut(&tag).expect("entry just inserted");
+            let a = &mut f
+                .retries
+                .iter_mut()
+                .find(|(t, _)| *t == tag)
+                .expect("entry just inserted")
+                .1;
             *a += 1;
             let attempt = *a;
             let backoff = f.cfg.backoff_after(attempt - 1);
@@ -302,7 +317,7 @@ impl MachineCtx {
     pub(crate) fn prune_retries(&mut self, req: u32) {
         if let Some(f) = self.faults.as_mut() {
             if !f.retries.is_empty() {
-                f.retries.retain(|tag, _| (*tag >> 32) as u32 != req);
+                f.retries.retain(|&(tag, _)| (tag >> 32) as u32 != req);
             }
         }
     }

@@ -39,9 +39,9 @@
 //! assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_micros(2));
 //! ```
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
+use crate::calendar::CalendarQueue;
 use crate::time::{SimDuration, SimTime};
 
 /// A system being simulated.
@@ -57,44 +57,27 @@ pub trait Model {
     fn handle(&mut self, now: SimTime, event: Self::Event, queue: &mut EventQueue<Self::Event>);
 }
 
-struct Scheduled<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest event
-        // (and, within a timestamp, the lowest sequence number) on top.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// The pending-event set of a simulation.
 ///
 /// Events are delivered in `(time, insertion order)` order. The queue
 /// tracks the current simulated time; [`EventQueue::schedule`] is
 /// relative to it.
+///
+/// Internally this is a calendar (bucket) queue — `O(1)` amortized
+/// schedule and pop independent of the pending-event population — plus
+/// a staging buffer that extracts the entire run of events sharing the
+/// next timestamp in one queue operation, so same-instant bursts pay
+/// the queue-maintenance cost once. Events a model schedules *at* the
+/// current instant (including clamped past-time schedules) carry a
+/// higher insertion sequence than everything already staged, so they
+/// correctly fire after the drained batch; delivery order is identical
+/// to the classic binary-heap implementation, bit for bit.
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    calendar: CalendarQueue<E>,
+    /// Events popped as one same-timestamp batch, awaiting delivery.
+    ready: VecDeque<(u64, E)>,
+    /// Shared timestamp of everything in `ready`.
+    ready_at: SimTime,
     now: SimTime,
     seq: u64,
     delivered: u64,
@@ -106,12 +89,14 @@ impl<E> EventQueue<E> {
         Self::with_capacity(0)
     }
 
-    /// An empty queue with room for `capacity` pending events before
-    /// the heap reallocates. Sizing for the steady-state event
-    /// population keeps scheduling allocation-free in the hot loop.
+    /// An empty queue sized for a steady-state population of about
+    /// `capacity` pending events (the calendar ring starts at a
+    /// matching bucket count instead of growing through rebuilds).
     pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::with_capacity(capacity),
+            calendar: CalendarQueue::with_capacity(capacity),
+            ready: VecDeque::new(),
+            ready_at: SimTime::ZERO,
             now: SimTime::ZERO,
             seq: 0,
             delivered: 0,
@@ -119,10 +104,14 @@ impl<E> EventQueue<E> {
         }
     }
 
-    /// Grows the heap to hold at least `additional` more events
-    /// without reallocating.
+    /// Capacity hint, retained for API stability. The calendar sizes
+    /// its ring from the *live* pending-event population through
+    /// adaptive rebuilds — a caller's total-event estimate (e.g. an
+    /// arrival backlog) routinely overshoots the steady-state population
+    /// by orders of magnitude, and an oversized ring costs more in cache
+    /// footprint than rebuilds ever do — so this is a no-op.
     pub fn reserve(&mut self, additional: usize) {
-        self.heap.reserve(additional);
+        let _ = additional;
     }
 
     /// The current simulated time (the timestamp of the event being
@@ -152,17 +141,34 @@ impl<E> EventQueue<E> {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled { at, seq, event });
+        if at == self.now {
+            // Same-instant fast lane. Event-driven models schedule a
+            // large share of their events at zero delay (cascade events
+            // within one logical instant); those never need to touch
+            // the calendar at all. Appending to the staging buffer is
+            // exactly delivery order: everything staged was scheduled
+            // earlier (lower seq), the calendar never holds an event at
+            // the current instant once the batch for `now` has been
+            // extracted (ties share a bucket slot and drain together),
+            // and all other pending events are strictly later.
+            if self.ready.is_empty() {
+                self.ready_at = at;
+            }
+            debug_assert_eq!(self.ready_at, at, "staged batch is not at now");
+            self.ready.push_back((seq, event));
+        } else {
+            self.calendar.schedule(at.as_picos(), seq, event);
+        }
     }
 
     /// Number of events not yet delivered.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.calendar.len() + self.ready.len()
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 
     /// Total number of events delivered so far.
@@ -179,15 +185,28 @@ impl<E> EventQueue<E> {
     }
 
     fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
-        debug_assert!(s.at >= self.now, "event queue went backwards in time");
-        self.now = s.at;
+        let (at, event) = match self.ready.pop_front() {
+            Some((_, event)) => (self.ready_at, event),
+            None => {
+                // Batched delivery: one calendar operation hands back the
+                // minimum event and stages the rest of its same-timestamp
+                // run (the single-event common case stages nothing).
+                let (at, event) = self.calendar.pop_batch(&mut self.ready)?;
+                self.ready_at = SimTime::from_picos(at);
+                (self.ready_at, event)
+            }
+        };
+        debug_assert!(at >= self.now, "event queue went backwards in time");
+        self.now = at;
         self.delivered += 1;
-        Some((s.at, s.event))
+        Some((at, event))
     }
 
-    fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+    fn peek_time(&mut self) -> Option<SimTime> {
+        if !self.ready.is_empty() {
+            return Some(self.ready_at);
+        }
+        self.calendar.peek_at().map(SimTime::from_picos)
     }
 }
 
@@ -366,6 +385,34 @@ mod tests {
             1,
             "only the past-time schedule clamps"
         );
+    }
+
+    #[test]
+    fn at_now_schedule_mid_batch_fires_after_staged_events() {
+        // Three events staged for t=50 drain as one batch. The first
+        // handler schedules a fourth at exactly `now`: the same-instant
+        // fast lane appends it to the staged batch, and it must fire
+        // after the two events already staged (it has the higher seq),
+        // never between or before them.
+        struct MidBatch {
+            log: Vec<u32>,
+        }
+        impl Model for MidBatch {
+            type Event = u32;
+            fn handle(&mut self, now: SimTime, ev: u32, queue: &mut EventQueue<u32>) {
+                self.log.push(ev);
+                if ev == 1 {
+                    queue.schedule_at(now, 4);
+                }
+            }
+        }
+        let mut sim = Simulation::new(MidBatch { log: vec![] });
+        for ev in 1..=3 {
+            sim.queue_mut().schedule(SimDuration::from_picos(50), ev);
+        }
+        sim.run();
+        assert_eq!(sim.model().log, vec![1, 2, 3, 4]);
+        assert_eq!(sim.queue_mut().clamped(), 0, "at-now is not a clamp");
     }
 
     #[test]

@@ -57,9 +57,11 @@
 
 #![warn(missing_docs)]
 
+mod calendar;
 pub mod engine;
 pub mod resource;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod telemetry;
 pub mod time;

@@ -1,0 +1,149 @@
+//! Differential test: the calendar-queue `EventQueue` against a plain
+//! binary-heap reference implementing the same delivery contract —
+//! `(time, insertion-order)` with past-time schedules clamped to now.
+//!
+//! Both sides run the same reactive workload from the same `SimRng`
+//! seed. The workload's scheduling decisions depend only on the rng
+//! stream, which both sides consume in delivery order — so the logs
+//! stay in lockstep exactly as long as delivery order is identical,
+//! and any divergence (a reordering, a lost or duplicated event, a
+//! clamp miscount) shows up as a log mismatch at the first bad pop.
+//! The delay shapes deliberately stress the calendar's edges:
+//! same-instant bursts (the fast lane), adjacent slots, power-of-two
+//! jumps across bucket and window boundaries, far-future events that
+//! land in the overflow spill, and past-time schedules that clamp.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use accelflow_sim::{EventQueue, Model, SimRng, SimTime, Simulation};
+
+/// Reactive workload step, shared verbatim by both sides: after an
+/// event fires at `now`, draw 0–3 follow-up events with adversarial
+/// delay shapes.
+fn react(rng: &mut SimRng, now: u64, sched: &mut dyn FnMut(u64, u64)) {
+    let n = rng.index(4);
+    for _ in 0..n {
+        let at = match rng.index(8) {
+            0 => now,                                             // same-instant burst
+            1 => now + 1 + rng.index(4) as u64,                   // adjacent slots
+            2 => now + rng.index(512) as u64,                     // in-bucket
+            3 => now + (1u64 << (6 + rng.index(22))),             // bucket/window edges
+            4 => now + rng.index(60_000_000) as u64,              // overflow spill
+            5 => now.saturating_sub(1 + rng.index(5_000) as u64), // past → clamp
+            6 => now + rng.index(16) as u64,
+            _ => now + rng.index(4_096) as u64,
+        };
+        sched(at, rng.index(1 << 30) as u64);
+    }
+}
+
+const INITIAL: &[(u64, u64)] = &[
+    (0, 100),
+    (0, 101), // same-instant tie at t=0
+    (17, 102),
+    (1 << 20, 103),
+    (1 << 20, 104), // tie at a power-of-two boundary
+    (55_000_000, 105),
+];
+
+struct Recorder {
+    rng: SimRng,
+    log: Vec<(u64, u64)>,
+    budget: usize,
+}
+
+impl Model for Recorder {
+    type Event = u64;
+    fn handle(&mut self, now: SimTime, ev: u64, queue: &mut EventQueue<u64>) {
+        self.log.push((now.as_picos(), ev));
+        if self.log.len() >= self.budget {
+            return; // stop breeding; drain what is queued
+        }
+        react(&mut self.rng, now.as_picos(), &mut |at, id| {
+            queue.schedule_at(SimTime::from_picos(at), id);
+        });
+    }
+}
+
+/// Runs the workload through the production engine (calendar queue).
+fn calendar_run(seed: u64, budget: usize) -> (Vec<(u64, u64)>, u64) {
+    let mut sim = Simulation::new(Recorder {
+        rng: SimRng::seed(seed),
+        log: Vec::new(),
+        budget,
+    });
+    for &(at, id) in INITIAL {
+        sim.queue_mut().schedule_at(SimTime::from_picos(at), id);
+    }
+    sim.run();
+    let clamped = sim.queue_mut().clamped();
+    (sim.into_model().log, clamped)
+}
+
+/// Runs the workload through a trivially-correct reference: a binary
+/// heap of `(at, seq, id)` with the same clamp-to-now rule.
+fn reference_run(seed: u64, budget: usize) -> (Vec<(u64, u64)>, u64) {
+    let mut rng = SimRng::seed(seed);
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u64)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut clamped = 0u64;
+    let mut log = Vec::new();
+    for &(at, id) in INITIAL {
+        heap.push(Reverse((at, seq, id)));
+        seq += 1;
+    }
+    while let Some(Reverse((at, _, id))) = heap.pop() {
+        let now = at;
+        log.push((now, id));
+        if log.len() >= budget {
+            continue;
+        }
+        react(&mut rng, now, &mut |a, i| {
+            if a < now {
+                clamped += 1;
+            }
+            heap.push(Reverse((a.max(now), seq, i)));
+            seq += 1;
+        });
+    }
+    (log, clamped)
+}
+
+#[test]
+fn calendar_matches_reference_heap_exactly() {
+    for seed in [1u64, 42, 0xDEAD_BEEF, 7_777_777] {
+        let (cal_log, cal_clamped) = calendar_run(seed, 20_000);
+        let (ref_log, ref_clamped) = reference_run(seed, 20_000);
+        assert!(
+            cal_log.len() >= 20_000,
+            "seed {seed}: workload fizzled at {} events",
+            cal_log.len()
+        );
+        assert_eq!(
+            cal_log.len(),
+            ref_log.len(),
+            "seed {seed}: delivery counts diverge"
+        );
+        if let Some(i) = (0..cal_log.len()).find(|&i| cal_log[i] != ref_log[i]) {
+            panic!(
+                "seed {seed}: first divergence at pop {i}: calendar {:?} vs reference {:?}",
+                cal_log[i], ref_log[i]
+            );
+        }
+        assert_eq!(
+            cal_clamped, ref_clamped,
+            "seed {seed}: clamp counts diverge"
+        );
+    }
+}
+
+#[test]
+fn monotone_and_fifo_within_timestamp() {
+    // Structural sanity independent of the reference: time never goes
+    // backwards across the log.
+    let (log, _) = calendar_run(99, 10_000);
+    for w in log.windows(2) {
+        assert!(w[1].0 >= w[0].0, "time regressed: {:?} -> {:?}", w[0], w[1]);
+    }
+}
