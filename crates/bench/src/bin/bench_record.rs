@@ -80,13 +80,21 @@ fn reps() -> u32 {
         .max(1)
 }
 
-/// Runs `f` (returning an event count) `reps()` times and keeps the
-/// fastest repetition — best-of filters scheduler noise.
-fn best_of(name: &'static str, mut f: impl FnMut() -> u64) -> Measure {
+/// Runs `run` (returning an event count) `reps()` times and keeps the
+/// fastest repetition — best-of filters scheduler noise. `setup`
+/// produces each repetition's input *outside* the timed section, and
+/// lazily: one repetition's input is alive at a time, so peak RSS
+/// reflects the simulation, not a stash of pre-cloned inputs.
+fn best_of_with<T>(
+    name: &'static str,
+    mut setup: impl FnMut() -> T,
+    mut run: impl FnMut(T) -> u64,
+) -> Measure {
     let mut best: Option<Measure> = None;
     for _ in 0..reps() {
+        let input = setup();
         let t0 = Instant::now();
-        let events = f();
+        let events = run(input);
         let wall_s = t0.elapsed().as_secs_f64();
         let m = Measure {
             name,
@@ -107,6 +115,10 @@ fn best_of(name: &'static str, mut f: impl FnMut() -> u64) -> Measure {
         m.name, m.events, m.wall_s, m.events_per_sec
     );
     m
+}
+
+fn best_of(name: &'static str, mut f: impl FnMut() -> u64) -> Measure {
+    best_of_with(name, || (), |()| f())
 }
 
 fn bench_engine_churn() -> Measure {
@@ -186,22 +198,26 @@ fn machine_run(name: &'static str, policy: Policy, bursty: bool, rps: f64) -> Me
     // kernel, not the audit/telemetry feature combinations.
     cfg.audit = false;
     cfg.telemetry = false;
-    // Clone the arrival list outside the timed section: the deep copy
-    // is bench plumbing, not kernel work.
-    let mut prepared: Vec<Vec<_>> = (0..reps()).map(|_| arrivals.clone()).collect();
-    best_of(name, || {
-        let arr = prepared.pop().unwrap_or_else(|| arrivals.clone());
-        let mut events = 0u64;
-        let _report = Machine::run_arrivals_observed(
-            &cfg,
-            &services,
-            arr,
-            scale.duration,
-            scale.seed,
-            |_, _| events += 1,
-        );
-        events
-    })
+    // Clone the arrival list once per repetition, outside the timed
+    // section: the deep copy is bench plumbing, not kernel work — and
+    // cloning lazily keeps one copy alive at a time (pre-cloning all
+    // repetitions up front inflated peak RSS by reps × arrival list).
+    best_of_with(
+        name,
+        || arrivals.clone(),
+        |arr| {
+            let mut events = 0u64;
+            let _report = Machine::run_arrivals_observed(
+                &cfg,
+                &services,
+                arr,
+                scale.duration,
+                scale.seed,
+                |_, _| events += 1,
+            );
+            events
+        },
+    )
 }
 
 /// Peak resident set size in kB (`VmHWM`), or 0 where unavailable.
@@ -290,9 +306,29 @@ fn render_section(rev: &str, rss_kb: u64, ms: &[Measure]) -> String {
     s
 }
 
-/// Extracts `(bench name, events_per_sec)` pairs from a named section
-/// of a snapshot file written by [`render_section`].
-fn parse_section(text: &str, section: &str) -> Vec<(String, f64)> {
+/// One bench entry parsed back out of a snapshot file.
+#[derive(Clone, Debug)]
+struct ParsedBench {
+    name: String,
+    events: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+}
+
+/// The numeric value following `"key":` in a single-line JSON object.
+fn json_num(rest: &str, key: &str) -> Option<f64> {
+    let after = rest.split(&format!("\"{key}\":")).nth(1)?;
+    let tok: String = after
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    tok.parse().ok()
+}
+
+/// Extracts the full bench measurements from a named section of a
+/// snapshot file written by [`render_section`].
+fn parse_section(text: &str, section: &str) -> Vec<ParsedBench> {
     let mut out = Vec::new();
     let mut in_section = false;
     for line in text.lines() {
@@ -309,12 +345,15 @@ fn parse_section(text: &str, section: &str) -> Vec<(String, f64)> {
         }
         if let Some((name_part, rest)) = t.split_once("\": {\"events\"") {
             let name = name_part.trim_start_matches('"').to_string();
-            if let Some(eps) = rest
-                .split("\"events_per_sec\":")
-                .nth(1)
-                .and_then(|v| v.trim().trim_end_matches(['}', ',']).trim().parse().ok())
-            {
-                out.push((name, eps));
+            let events = json_num(t, "events").unwrap_or(0.0) as u64;
+            let wall_s = json_num(rest, "wall_s").unwrap_or(0.0);
+            if let Some(events_per_sec) = json_num(rest, "events_per_sec") {
+                out.push(ParsedBench {
+                    name,
+                    events,
+                    wall_s,
+                    events_per_sec,
+                });
             }
         }
     }
@@ -349,28 +388,23 @@ fn record(out: Option<String>, baseline_from: Option<String>) {
     json.push_str("  }");
     if let Some((benches, brev, brss)) = &baseline {
         json.push_str(",\n  \"baseline\": {\n");
-        let bm: Vec<Measure> = benches
+        // Embed the baseline's full measurements verbatim — events and
+        // wall-clock included, so `check` can verify the section is a
+        // real measurement and not a zeroed husk.
+        let bm: Vec<ParsedBench> = benches
             .iter()
-            .filter_map(|(n, eps)| {
-                ms.iter().find(|m| m.name == n.as_str()).map(|m| Measure {
-                    name: m.name,
-                    events: 0,
-                    wall_s: 0.0,
-                    events_per_sec: *eps,
-                })
-            })
+            .filter(|b| ms.iter().any(|m| m.name == b.name.as_str()))
+            .cloned()
             .collect();
-        // Baseline sections carry only the throughput figures (events
-        // and wall-clock belong to the machine they were measured on).
         let mut s = String::new();
         s.push_str(&format!("    \"git_rev\": \"{brev}\",\n"));
         s.push_str(&format!("    \"peak_rss_kb\": {brss},\n"));
         s.push_str("    \"benches\": {\n");
-        for (i, m) in bm.iter().enumerate() {
+        for (i, b) in bm.iter().enumerate() {
             let comma = if i + 1 == bm.len() { "" } else { "," };
             s.push_str(&format!(
-                "      \"{}\": {{\"events\": 0, \"wall_s\": 0.0, \"events_per_sec\": {:.1}}}{}\n",
-                m.name, m.events_per_sec, comma
+                "      \"{}\": {{\"events\": {}, \"wall_s\": {:.4}, \"events_per_sec\": {:.1}}}{}\n",
+                b.name, b.events, b.wall_s, b.events_per_sec, comma
             ));
         }
         s.push_str("    }\n");
@@ -379,7 +413,7 @@ fn record(out: Option<String>, baseline_from: Option<String>) {
         // Improvement ratio on the headline macro shape.
         if let (Some(cur), Some(base)) = (
             ms.iter().find(|m| m.name == "fig14_shape"),
-            bm.iter().find(|m| m.name == "fig14_shape"),
+            bm.iter().find(|b| b.name == "fig14_shape"),
         ) {
             if base.events_per_sec > 0.0 {
                 json.push_str(&format!(
@@ -411,28 +445,45 @@ fn check(path: &str) {
         !committed.is_empty(),
         "no benches found in the committed snapshot {path}"
     );
+    // Refuse snapshots whose baseline section is a zeroed husk: a
+    // baseline with `events: 0` or `wall_s: 0.0` was never a real
+    // measurement, so every comparison made against it is fiction.
+    let corrupt: Vec<String> = parse_section(&text, "baseline")
+        .iter()
+        .filter(|b| b.events == 0 || b.wall_s <= 0.0)
+        .map(|b| b.name.clone())
+        .collect();
+    if !corrupt.is_empty() {
+        eprintln!(
+            "corrupt baseline in {path}: zeroed events/wall_s for {}\n\
+             (re-record with `bench_record record --baseline-from <real snapshot>`)",
+            corrupt.join(", ")
+        );
+        std::process::exit(1);
+    }
     let fresh = run_all();
     let mut failures = Vec::new();
     println!(
         "\n{:<24} {:>14} {:>14} {:>8}",
         "bench", "committed", "fresh", "ratio"
     );
-    for (name, committed_eps) in &committed {
+    for b in &committed {
+        let name = &b.name;
         let Some(f) = fresh.iter().find(|m| m.name == name.as_str()) else {
             failures.push(format!("{name}: bench missing from this build"));
             continue;
         };
-        let ratio = f.events_per_sec / committed_eps;
+        let ratio = f.events_per_sec / b.events_per_sec;
         println!(
             "{:<24} {:>14.0} {:>14.0} {:>7.2}x",
-            name, committed_eps, f.events_per_sec, ratio
+            name, b.events_per_sec, f.events_per_sec, ratio
         );
         if ratio < 1.0 - tol {
             failures.push(format!(
                 "{name}: {:.0} events/s is {:.1}% below the committed {:.0}",
                 f.events_per_sec,
                 (1.0 - ratio) * 100.0,
-                committed_eps
+                b.events_per_sec
             ));
         }
     }

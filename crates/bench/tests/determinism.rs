@@ -84,6 +84,49 @@ fn fault_injection_is_sweep_invariant() {
 }
 
 #[test]
+fn cluster_sweeps_are_byte_identical_to_sequential() {
+    // Cluster runs fan out the same way machine runs do: every cell is
+    // a pure function of (nodes, balancer, seed), so the sweep must
+    // reproduce the sequential loop byte for byte — including the
+    // balancers' placement decisions (the round-robin cursor and the
+    // dispatcher's weighted-random draws live inside the run, never in
+    // worker state).
+    use accelflow_core::cluster::{BalancerKind, Cluster, ClusterConfig, ClusterReport};
+    fn cluster_cells() -> Vec<(usize, BalancerKind, u64)> {
+        let mut cells = Vec::new();
+        for nodes in [1usize, 3] {
+            for balancer in BalancerKind::ALL {
+                cells.push((nodes, balancer, 7u64));
+            }
+        }
+        cells
+    }
+    fn run_cluster(nodes: usize, balancer: BalancerKind, seed: u64) -> ClusterReport {
+        let services = vec![socialnetwork::uniq_id(), socialnetwork::login()];
+        let scale = Scale::quick();
+        let mut cfg = ClusterConfig::new(nodes, harness::machine_config(Policy::AccelFlow, scale));
+        cfg.balancer = balancer;
+        cfg.keepalive = Some(accelflow_sim::time::SimDuration::from_micros(200));
+        Cluster::run_workload(&cfg, &services, 1_000.0, scale.duration, seed)
+    }
+    let sequential: Vec<String> = cluster_cells()
+        .into_iter()
+        .map(|(n, b, s)| format!("{:?}", run_cluster(n, b, s)))
+        .collect();
+    let swept: Vec<String> = sweep::map(cluster_cells(), |(n, b, s)| run_cluster(n, b, s))
+        .iter()
+        .map(|r| format!("{r:?}"))
+        .collect();
+    assert_eq!(sequential.len(), swept.len());
+    for (i, (a, b)) in sequential.iter().zip(&swept).enumerate() {
+        assert_eq!(
+            a, b,
+            "cluster cell {i} diverged between sequential and sweep"
+        );
+    }
+}
+
+#[test]
 fn throughput_search_is_thread_count_invariant() {
     // The speculative parallel search must return the sequential
     // result for a small machine regardless of worker count.

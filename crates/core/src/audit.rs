@@ -298,6 +298,13 @@ impl Auditor {
         if measured {
             self.measured_admitted += 1;
         }
+        // Externally-dispatched arrivals (the cluster layer) register
+        // requests past the construction-time count; grow the dense
+        // per-request tables so those admits are audited, not flagged.
+        if idx as usize >= self.terminated_flags.len() {
+            self.terminated_flags.resize(idx as usize + 1, false);
+            self.finished_calls.resize(idx as usize + 1, Vec::new());
+        }
         let fresh = self
             .terminated_flags
             .get(idx as usize)

@@ -1,0 +1,195 @@
+//! Cluster run results: per-node [`RunReport`]s plus fleet-level
+//! health/placement counters, with aggregation helpers for the
+//! cluster-scale figures (goodput and tail latency versus fleet size,
+//! balancer, and fault rate).
+
+use accelflow_sim::stats::Histogram;
+use accelflow_sim::time::SimDuration;
+
+use crate::stats::RunReport;
+
+/// Keep-alive and relocation counters for one cluster run. All zeros
+/// when keep-alive polling is disabled and every node stays healthy.
+#[derive(Clone, Debug, Default)]
+pub struct HealthReport {
+    /// Keep-alive poll rounds executed.
+    pub polls: u64,
+    /// Healthy→suspended transitions observed across all nodes.
+    pub suspensions: u64,
+    /// Suspended→healthy transitions observed across all nodes.
+    pub recoveries: u64,
+    /// Arrivals re-routed away from their preferred node because it
+    /// was suspended at dispatch time.
+    pub relocations: u64,
+    /// Arrivals dispatched to each node (preferred + relocated).
+    pub dispatched: Vec<u64>,
+}
+
+/// The result of one cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Per-node machine reports, indexed by node id.
+    pub per_node: Vec<RunReport>,
+    /// Fleet health and placement counters.
+    pub health: HealthReport,
+    /// Events the shared outer kernel delivered (node events plus
+    /// keep-alive ticks; excludes events the nodes handled internally).
+    pub events: u64,
+    /// Past-time schedules the outer kernel clamped forward. The
+    /// dispatcher FIFO-clamps admission times itself, so non-zero here
+    /// means a cluster-layer time-travel bug.
+    pub clamped: u64,
+}
+
+impl ClusterReport {
+    /// Total requests offered across the fleet (post-warmup arrivals).
+    pub fn offered(&self) -> u64 {
+        self.per_node.iter().map(|r| r.offered()).sum()
+    }
+
+    /// Total requests completed across the fleet.
+    pub fn completed(&self) -> u64 {
+        self.per_node.iter().map(|r| r.completed()).sum()
+    }
+
+    /// Aggregate goodput in requests/second over the measured window
+    /// (the window is common to all nodes — one shared clock).
+    pub fn goodput_rps(&self) -> f64 {
+        let secs = self
+            .per_node
+            .first()
+            .map_or(0.0, |r| r.measured.as_secs_f64());
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed() as f64 / secs
+        }
+    }
+
+    /// Fleet-wide completion ratio — drops below ~1.0 when any node
+    /// saturates or work is lost to faults.
+    pub fn completion_ratio(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            1.0
+        } else {
+            self.completed() as f64 / offered as f64
+        }
+    }
+
+    /// Every node's completed-request latencies merged into one
+    /// histogram (cluster-level tail percentiles).
+    pub fn aggregate_latency(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for node in &self.per_node {
+            h.merge(&node.aggregate_latency());
+        }
+        h
+    }
+
+    /// Fleet-wide P99 latency.
+    pub fn p99(&self) -> SimDuration {
+        self.aggregate_latency().percentile_duration(99.0)
+    }
+
+    /// Fleet-wide deadline misses (requests finishing past their SLO).
+    pub fn deadline_misses(&self) -> u64 {
+        self.per_node
+            .iter()
+            .flat_map(|r| &r.per_service)
+            .map(|s| s.deadline_misses)
+            .sum()
+    }
+
+    /// Largest/smallest per-node dispatch count ratio — 1.0 is a
+    /// perfectly even spread. Returns 1.0 for a single node;
+    /// `f64::INFINITY` when some node received nothing while another
+    /// received work.
+    pub fn dispatch_imbalance(&self) -> f64 {
+        let max = self.health.dispatched.iter().copied().max().unwrap_or(0);
+        let min = self.health.dispatched.iter().copied().min().unwrap_or(0);
+        if max == 0 {
+            1.0
+        } else if min == 0 {
+            f64::INFINITY
+        } else {
+            max as f64 / min as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{MachineTotals, ServiceStats};
+    use accelflow_sim::time::SimTime;
+
+    fn node_report(latencies_us: &[u64], offered: u64) -> RunReport {
+        let mut s = ServiceStats::new("svc");
+        for &us in latencies_us {
+            s.latency.record_duration(SimDuration::from_micros(us));
+        }
+        s.completed = latencies_us.len() as u64;
+        s.offered = offered;
+        RunReport {
+            per_service: vec![s],
+            totals: MachineTotals::default(),
+            measured: SimDuration::from_millis(2),
+            ended_at: SimTime::ZERO + SimDuration::from_millis(2),
+            faults: crate::faults::FaultStats::default(),
+            audit: crate::audit::AuditReport::disabled(),
+            telemetry: accelflow_sim::telemetry::TelemetryReport::disabled(),
+        }
+    }
+
+    #[test]
+    fn aggregates_span_nodes() {
+        let report = ClusterReport {
+            per_node: vec![node_report(&[100, 200], 3), node_report(&[400], 1)],
+            health: HealthReport {
+                dispatched: vec![3, 1],
+                ..HealthReport::default()
+            },
+            events: 10,
+            clamped: 0,
+        };
+        assert_eq!(report.offered(), 4);
+        assert_eq!(report.completed(), 3);
+        assert_eq!(report.aggregate_latency().count(), 3);
+        assert!((report.completion_ratio() - 0.75).abs() < 1e-12);
+        // 3 completions over the 2 ms shared window.
+        assert!((report.goodput_rps() - 1500.0).abs() < 1e-9);
+        // The merged tail sees node 1's slow request.
+        assert!(report.p99() >= SimDuration::from_micros(400));
+        assert!((report.dispatch_imbalance() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_fleet_is_safe() {
+        let report = ClusterReport {
+            per_node: Vec::new(),
+            health: HealthReport::default(),
+            events: 0,
+            clamped: 0,
+        };
+        assert_eq!(report.offered(), 0);
+        assert_eq!(report.completed(), 0);
+        assert_eq!(report.goodput_rps(), 0.0);
+        assert_eq!(report.completion_ratio(), 1.0);
+        assert_eq!(report.dispatch_imbalance(), 1.0);
+    }
+
+    #[test]
+    fn starved_node_reads_as_infinite_imbalance() {
+        let report = ClusterReport {
+            per_node: Vec::new(),
+            health: HealthReport {
+                dispatched: vec![5, 0],
+                ..HealthReport::default()
+            },
+            events: 0,
+            clamped: 0,
+        };
+        assert!(report.dispatch_imbalance().is_infinite());
+    }
+}

@@ -25,6 +25,10 @@
 //! - [`faults`] — seeded deterministic fault injection (stalls, DMA
 //!   errors, TLB shootdowns, queue drops, ATM misses) and the recovery
 //!   counters; see `docs/RESILIENCE.md`.
+//! - [`cluster`] — a fleet of machines behind a two-level
+//!   orchestrator: one shared event kernel, pluggable load balancers,
+//!   an inter-node link model, and keep-alive health relocation; see
+//!   `docs/CLUSTER.md`.
 //!
 //! Two observability layers ride along with the machine, both gated so
 //! the disabled hot path costs a single branch:
@@ -43,6 +47,7 @@
 
 pub mod arrivals;
 pub mod audit;
+pub mod cluster;
 pub mod faults;
 pub mod machine;
 pub mod policy;
@@ -51,6 +56,7 @@ pub mod stats;
 
 pub use arrivals::{poisson_arrivals, Arrival, BUFFER_POOL};
 pub use audit::{AuditReport, Auditor, Violation};
+pub use cluster::{BalancerKind, Cluster, ClusterConfig, ClusterReport, NodeLink};
 pub use faults::{FaultClass, FaultConfig, FaultStats};
 pub use machine::{Machine, MachineConfig};
 pub use policy::Policy;

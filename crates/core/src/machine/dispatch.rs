@@ -56,7 +56,6 @@ impl MachineCtx {
             let station = self.route_station(kind, now);
             (station, self.accels[station].admit_from_dispatcher(entry))
         };
-        self.sync_station(station);
         self.energy.add_queue_accesses(1);
         match outcome {
             PushOutcome::Accepted | PushOutcome::Overflowed => {
@@ -152,13 +151,13 @@ impl MachineCtx {
                 .take(Self::SHARED_QUEUE_WINDOW)
                 .position(|job| {
                     self.stations_of(job.kind)
-                        .any(|i| self.station_has_free_pe(i) && self.station_available(i, now))
+                        .any(|i| self.accels[i].has_free_pe() && self.station_available(i, now))
                 });
             let Some(pos) = pick else { return };
             let job = self.shared_queue.remove(pos).expect("position exists");
             let idx = self
                 .stations_of(job.kind)
-                .find(|&i| self.station_has_free_pe(i) && self.station_available(i, now))
+                .find(|&i| self.accels[i].has_free_pe() && self.station_available(i, now))
                 .expect("checked a free PE exists");
             let admitted = self.accels[idx].admit_from_dispatcher(job.entry);
             debug_assert_ne!(
@@ -166,9 +165,7 @@ impl MachineCtx {
                 PushOutcome::Rejected,
                 "free-PE accel has queue space"
             );
-            let started = self.accels[idx].start_next(now);
-            self.sync_station(idx);
-            if let Some(started) = started {
+            if let Some(started) = self.accels[idx].start_next(now) {
                 self.begin_pe(now, idx, started, queue);
             }
         }
@@ -180,10 +177,8 @@ impl MachineCtx {
             return; // PEs stalled dark; StallEnd re-issues TryStart
         }
         while let Some(started) = self.accels[idx].start_next(now) {
-            self.sync_station(idx);
             self.begin_pe(now, idx, started, queue);
         }
-        self.sync_station(idx);
     }
 
     fn begin_pe(
@@ -200,7 +195,6 @@ impl MachineCtx {
         if self.req_gone(addr.req) {
             // Owner gave up (timeout); release the PE immediately.
             self.accels[accel_idx].complete(started.pe, SimDuration::ZERO);
-            self.sync_station(accel_idx);
             queue.schedule(SimDuration::ZERO, Ev::TryStart(accel_idx as u8));
             return;
         }
@@ -300,7 +294,6 @@ impl MachineCtx {
         // return) so it never outlives this PE occupancy.
         let failed = self.pe_job_poisoned(accel as usize, pe as usize);
         self.accels[accel as usize].complete(pe as usize, SimDuration::from_picos(busy_ps));
-        self.sync_station(accel as usize);
         // Free PE: more queued work may start.
         if self.orch.single_shared_queue() {
             self.dispatch_shared(now, queue);

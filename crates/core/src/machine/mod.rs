@@ -267,14 +267,6 @@ pub struct MachineCtx {
     pub(crate) cores: ServerPool,
     pub(crate) manager: ServerPool,
     pub(crate) accels: Vec<Accelerator>,
-    /// Struct-of-arrays station mirrors for the dispatch scans: the
-    /// per-station input backlog, and a free-PE bitmask (station `i`
-    /// is bit `i % 64` of word `i / 64`). Resynced at every
-    /// accelerator mutation site via [`MachineCtx::sync_station`] so
-    /// routing walks these contiguous words instead of dereferencing
-    /// each [`Accelerator`].
-    pub(crate) station_backlog: Vec<u32>,
-    pub(crate) station_free: Vec<u64>,
     pub(crate) shared_queue: VecDeque<SharedJob>,
     /// Live per-request state. Requests live for microseconds while a
     /// run spans millions of arrivals, so the table is a recycling slab
@@ -370,8 +362,7 @@ impl Machine {
                 cfg.arch.pes_per_accelerator,
             ))
         });
-        let n_stations = accels.len();
-        let mut machine = Machine {
+        Machine {
             ctx: MachineCtx {
                 cfg,
                 orch,
@@ -383,8 +374,6 @@ impl Machine {
                 cores,
                 manager,
                 accels,
-                station_backlog: vec![0; n_stations],
-                station_free: vec![0; n_stations.div_ceil(64)],
                 shared_queue: VecDeque::new(),
                 requests: Slab::with_capacity(64),
                 req_slots,
@@ -406,11 +395,7 @@ impl Machine {
                 tel,
                 faults,
             },
-        };
-        for i in 0..n_stations {
-            machine.ctx.sync_station(i);
         }
-        machine
     }
 
     /// Convenience runner: Poisson arrivals at `rps_per_service` for
@@ -522,6 +507,56 @@ impl Machine {
     }
 }
 
+/// Hooks for the [`cluster`](crate::cluster) composition layer, which
+/// drives N captive machines from one shared outer kernel instead of
+/// giving each its own [`Simulation`]. Crate-private: the cluster is
+/// the only caller, and the contract (one pending pushed arrival per
+/// machine at a time, reports extracted after the outer run drains) is
+/// enforced there.
+impl Machine {
+    /// Registers one externally-dispatched arrival and returns the
+    /// local index to carry in its [`Ev::Arrive`]. The cluster pushes
+    /// the payload at dispatch time and schedules the event itself;
+    /// `on_arrive` then pops it exactly like a preloaded arrival. At
+    /// most one pushed arrival is pending per machine (the cluster's
+    /// admission chain dispatches the next arrival only when the
+    /// current one is delivered), so the tail-pop discipline holds.
+    pub(crate) fn push_external_arrival(&mut self, arrival: Arrival) -> u32 {
+        let idx = self.ctx.req_slots.len() as u32;
+        self.ctx.req_slots.push(SlotId::INVALID);
+        self.ctx.arrivals.push(arrival);
+        idx
+    }
+
+    /// In-flight (admitted, not yet terminated) request count — the
+    /// load signal the cluster's least-loaded balancer reads.
+    pub(crate) fn live_requests(&self) -> u64 {
+        self.ctx.live
+    }
+
+    /// Number of accelerator stations currently inside a fault-injected
+    /// stall window. Zero when injection is disabled. The cluster's
+    /// keep-alive poll reads this as the node-health signal.
+    pub(crate) fn dark_stations(&self, now: SimTime) -> usize {
+        self.ctx
+            .faults
+            .as_ref()
+            .map_or(0, |f| f.avail.len() - f.avail.available_count(now))
+    }
+
+    /// Arms each enabled fault class's Poisson stream (see
+    /// [`MachineCtx::draw_initial_faults`]); the caller schedules the
+    /// returned events into its own queue.
+    pub(crate) fn arm_initial_faults(&mut self) -> Vec<(SimTime, FaultClass)> {
+        self.ctx.draw_initial_faults()
+    }
+
+    /// Extracts the run report once the outer kernel has drained.
+    pub(crate) fn into_run_report(self, now: SimTime, end: SimTime) -> RunReport {
+        self.ctx.into_report(now, end)
+    }
+}
+
 impl MachineCtx {
     // ----- helpers shared across the handler modules -----
 
@@ -537,43 +572,15 @@ impl MachineCtx {
     }
 
     /// The least-backlogged station of a kind (hardware routes new work
-    /// to the emptiest instance). Reads the SoA backlog mirror.
+    /// to the emptiest instance). Scans the kind's instances directly:
+    /// a struct-of-arrays backlog mirror was tried here and lost ~4% of
+    /// fig14-shape throughput — with a handful of instances per kind
+    /// the scan is a few loads, while keeping the mirror coherent cost
+    /// a resync at every accelerator mutation site.
     pub(crate) fn least_loaded_station(&self, kind: AccelKind) -> usize {
-        let range = self.stations_of(kind);
-        debug_assert!(
-            range
-                .clone()
-                .all(|i| self.station_backlog[i] as usize == self.accels[i].input().backlog()),
-            "station_backlog mirror out of sync"
-        );
-        range
-            .min_by_key(|&i| self.station_backlog[i])
+        self.stations_of(kind)
+            .min_by_key(|&i| self.accels[i].input().backlog())
             .expect("at least one instance")
-    }
-
-    /// Resynchronizes station `i`'s mirror row after an accelerator
-    /// mutation (admission, job start, completion, entry drop).
-    #[inline]
-    pub(crate) fn sync_station(&mut self, i: usize) {
-        self.station_backlog[i] = self.accels[i].input().backlog() as u32;
-        let bit = 1u64 << (i % 64);
-        if self.accels[i].has_free_pe() {
-            self.station_free[i / 64] |= bit;
-        } else {
-            self.station_free[i / 64] &= !bit;
-        }
-    }
-
-    /// Mirror read of [`Accelerator::has_free_pe`].
-    #[inline]
-    pub(crate) fn station_has_free_pe(&self, i: usize) -> bool {
-        let free = self.station_free[i / 64] & (1u64 << (i % 64)) != 0;
-        debug_assert_eq!(
-            free,
-            self.accels[i].has_free_pe(),
-            "station_free mirror out of sync at station {i}"
-        );
-        free
     }
 
     pub(crate) fn req(&self, idx: u32) -> &RequestState {

@@ -64,7 +64,7 @@ impl MachineCtx {
         let lit = self
             .stations_of(kind)
             .filter(|&i| self.station_available(i, now))
-            .min_by_key(|&i| self.station_backlog[i]);
+            .min_by_key(|&i| self.accels[i].input().backlog());
         match lit {
             Some(station) => {
                 self.faults
@@ -170,7 +170,6 @@ impl MachineCtx {
         let idx = f.rng.index(len);
         f.stats.queue_drops += 1;
         let entry = self.accels[station].drop_entry(idx);
-        self.sync_station(station);
         self.tel_instant_sys(now, CompId::accelerator(station as u16), "fault_queue_drop");
         self.recover_call(now, CallAddr::from_tag(entry.tag), queue);
     }

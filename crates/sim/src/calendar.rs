@@ -39,7 +39,11 @@
 //!   skips empty days a word (64 slots) at a time.
 //! - **Adaptive rebuild** — when the population outgrows the ring, the
 //!   queue re-derives `shift` from the observed spacing of pending
-//!   events and re-hashes everything.
+//!   events and re-hashes everything. The same machinery runs in
+//!   reverse: when the population falls to a quarter of the ring size,
+//!   a pop-side rebuild downsizes the ring and releases every slot's
+//!   retained capacity, so a burst's high-water mark does not pin the
+//!   queue's footprint for the rest of the run.
 
 /// One pending event: absolute timestamp in picoseconds, the insertion
 /// sequence number that breaks timestamp ties FIFO, and the payload.
@@ -117,9 +121,25 @@ pub(crate) struct CalendarQueue<E> {
     last_popped: u64,
     /// Population high-water mark that triggers a growth rebuild.
     rebuild_at: usize,
+    /// Population low-water mark that triggers a shrink rebuild (0 when
+    /// the ring is already at its minimum size). Without it the ring —
+    /// and every slot `Vec`'s retained capacity — would only ever grow,
+    /// so one population spike would pin the queue's footprint at its
+    /// high-water mark for the rest of the run.
+    shrink_at: usize,
     /// Cached pop candidate: ring slot of the current minimum, with its
     /// timestamp for cheap invalidation on schedule.
     candidate: Option<(u64, usize)>,
+    /// Front cache: when `Some`, this entry's `(at, seq)` is strictly
+    /// below every key in the ring and the overflow heap, so it is the
+    /// next event out. An event scheduled into an otherwise-empty queue
+    /// parks here and is popped straight back out without ever touching
+    /// the ring — the schedule-then-pop churn pattern of a model whose
+    /// pending population hovers near one (a self-rescheduling timer, a
+    /// machine draining its last request) costs an `Option` write and a
+    /// take instead of bucket hashing, occupancy bookkeeping, and the
+    /// candidate scan.
+    front: Option<Entry<E>>,
 }
 
 impl<E> CalendarQueue<E> {
@@ -140,7 +160,9 @@ impl<E> CalendarQueue<E> {
             overflow: std::collections::BinaryHeap::new(),
             last_popped: 0,
             rebuild_at: 0,
+            shrink_at: 0,
             candidate: None,
+            front: None,
         };
         q.init_ring(n, INITIAL_SHIFT, 0);
         q
@@ -155,17 +177,28 @@ impl<E> CalendarQueue<E> {
         self.cursor = cursor;
         self.in_ring = 0;
         self.rebuild_at = n * 4;
+        // Shrink when the population falls to a quarter of the ring
+        // size; with growth at 4× the ring size the two thresholds
+        // leave a 16× hysteresis band, so a population oscillating
+        // around either edge cannot thrash rebuilds.
+        self.shrink_at = if n > MIN_BUCKETS { n / 4 } else { 0 };
         self.candidate = None;
     }
 
     #[inline]
     pub fn len(&self) -> usize {
-        self.in_ring + self.overflow.len()
+        self.front.is_some() as usize + self.in_ring + self.overflow.len()
     }
 
-    #[cfg(test)]
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Ring size in buckets (footprint diagnostics / shrink tests).
+    #[cfg(test)]
+    pub fn ring_size(&self) -> usize {
+        self.buckets.len()
     }
 
     /// `(at, seq)` of the earliest overflow event, if any.
@@ -179,18 +212,59 @@ impl<E> CalendarQueue<E> {
     /// increasing across calls.
     pub fn schedule(&mut self, at: u64, seq: u64, event: E) {
         debug_assert!(at >= self.last_popped, "scheduled before the last pop");
-        if self.len() + 1 > self.rebuild_at {
-            self.rebuild(self.len() + 1);
-        }
-        if let Some((cand_at, _)) = self.candidate {
-            // A smaller timestamp dethrones the cached minimum; equal
-            // timestamps lose on seq and leave the cache valid.
-            if at < cand_at {
-                self.candidate = None;
+        match &self.front {
+            // Empty queue: the sole event parks in the front cache.
+            None if self.in_ring == 0 && self.overflow.is_empty() => {
+                self.front = Some(Entry { at, seq, event });
+                return;
             }
+            // The front cache holds the strict minimum. A yet-smaller
+            // event takes the cache over and the old front demotes to
+            // the ring (its timestamp is still ≥ `last_popped`: the
+            // front was the global minimum the whole time it was
+            // cached, so no pop can have advanced the clock past it).
+            Some(f) if (at, seq) < f.key() => {
+                let prev = self
+                    .front
+                    .replace(Entry { at, seq, event })
+                    .expect("front checked Some");
+                self.schedule_inner(prev);
+                return;
+            }
+            _ => {}
+        }
+        self.schedule_inner(Entry { at, seq, event });
+    }
+
+    /// [`CalendarQueue::schedule`]'s slow half: routes an entry into
+    /// the ring or the overflow heap, maintaining the candidate cache.
+    fn schedule_inner(&mut self, entry: Entry<E>) {
+        let Entry { at, seq, event } = entry;
+        if self.in_ring + self.overflow.len() + 1 > self.rebuild_at {
+            self.rebuild(self.in_ring + self.overflow.len() + 1);
         }
         let vb = at >> self.shift;
         if vb < self.cursor + (self.mask as u64 + 1) {
+            // In-window: keep the pop candidate warm. A valid candidate
+            // is the global minimum (overflow events sit beyond the
+            // window, strictly after every in-window timestamp), so a
+            // smaller in-window timestamp *is* the new minimum and can
+            // take the cache over directly instead of invalidating it;
+            // and when the queue was empty the sole event is trivially
+            // the minimum. Both cases save the pop-side bitset re-scan —
+            // the dominant cost of the schedule-then-pop churn pattern
+            // that keeps the population near one.
+            let idx = (vb as usize) & self.mask;
+            match self.candidate {
+                // Equal timestamps lose on seq: the cache stays valid.
+                Some((cand_at, _)) if at >= cand_at => {}
+                Some(_) => self.candidate = Some((at, idx)),
+                None if self.in_ring == 0 && self.overflow.is_empty() => {
+                    self.candidate = Some((at, idx));
+                }
+                // Unknown minimum stays unknown; the next pop re-scans.
+                None => {}
+            }
             self.insert_ring(Entry { at, seq, event });
         } else {
             self.overflow.push(Spill(Entry { at, seq, event }));
@@ -202,12 +276,16 @@ impl<E> CalendarQueue<E> {
         let idx = ((entry.at >> self.shift) as usize) & self.mask;
         let slot = &mut self.buckets[idx];
         // Ascending `(at, seq)`; events usually arrive in roughly
-        // increasing time order, so scan from the tail.
-        let mut i = slot.len();
-        while i > 0 && slot[i - 1].key() > entry.key() {
-            i -= 1;
+        // increasing time order, so the common case is a plain append.
+        if slot.last().is_none_or(|tail| tail.key() < entry.key()) {
+            slot.push(entry);
+        } else {
+            let mut i = slot.len() - 1;
+            while i > 0 && slot[i - 1].key() > entry.key() {
+                i -= 1;
+            }
+            slot.insert(i, entry);
         }
-        slot.insert(i, entry);
         self.occupied[idx / 64] |= 1u64 << (idx % 64);
         self.in_ring += 1;
     }
@@ -220,6 +298,9 @@ impl<E> CalendarQueue<E> {
     /// behind the cursor.
     #[inline]
     pub fn peek_at(&mut self) -> Option<u64> {
+        if let Some(f) = &self.front {
+            return Some(f.at);
+        }
         loop {
             if let Some((at, _)) = self.candidate {
                 return Some(at);
@@ -240,9 +321,65 @@ impl<E> CalendarQueue<E> {
     /// Pops the minimum event.
     #[cfg(test)]
     pub fn pop(&mut self) -> Option<(u64, u64, E)> {
+        if let Some(f) = self.take_cached_front() {
+            return Some((f.at, f.seq, f.event));
+        }
         let (_, idx) = self.refresh()?;
         let entry = self.take_front(idx);
         Some((entry.at, entry.seq, entry.event))
+    }
+
+    /// Takes the front cache, re-anchoring the clock on it. The cached
+    /// entry is the strict global minimum, so popping it is legal from
+    /// any state; the window only ever moves forward because the front
+    /// was scheduled at or after the last popped instant (and its
+    /// virtual bucket is ≤ every stored event's, so nothing is
+    /// stranded behind the cursor).
+    #[inline]
+    fn take_cached_front(&mut self) -> Option<Entry<E>> {
+        let f = self.front.take()?;
+        self.cursor = f.at >> self.shift;
+        self.last_popped = f.at;
+        Some(f)
+    }
+
+    /// After a front-cache pop at `at`, drains every remaining event
+    /// with the same timestamp into `out` in seq order. Ring ties are
+    /// the sorted prefix of the cursor's slot; overflow ties exist when
+    /// they were scheduled while the window sat further back than the
+    /// front pop just slid it (the front pop migrates nothing), and
+    /// their seqs interleave with the ring run, so a merged batch is
+    /// re-sorted. Cold by construction: ties behind a cached front are
+    /// rare, and the empty-queue churn path never gets here.
+    fn stage_ties(&mut self, at: u64, out: &mut std::collections::VecDeque<(u64, E)>) {
+        let start = out.len();
+        if self.in_ring != 0 {
+            let idx = ((at >> self.shift) as usize) & self.mask;
+            let slot = &mut self.buckets[idx];
+            if slot.first().is_some_and(|e| e.at == at) {
+                let run = slot.iter().take_while(|e| e.at == at).count();
+                out.extend(slot.drain(..run).map(|e| (e.seq, e.event)));
+                self.in_ring -= run;
+                if slot.is_empty() {
+                    self.occupied[idx / 64] &= !(1u64 << (idx % 64));
+                }
+                // The drained run was the remaining minimum; whatever
+                // follows needs a full refresh (stale in-window overflow
+                // may undercut this slot's next entry).
+                self.candidate = None;
+            }
+        }
+        let ring_ties = out.len() > start;
+        let mut merged = false;
+        while self.overflow_min().is_some_and(|(m, _)| m == at) {
+            let Spill(e) = self.overflow.pop().expect("peeked nonempty");
+            out.push_back((e.seq, e.event));
+            merged = ring_ties;
+        }
+        if merged {
+            // Ring and overflow ties carry interleaved seqs.
+            out.make_contiguous()[start..].sort_unstable_by_key(|&(seq, _)| seq);
+        }
     }
 
     /// Pops the minimum event and stages the *rest* of its
@@ -254,6 +391,19 @@ impl<E> CalendarQueue<E> {
         &mut self,
         out: &mut std::collections::VecDeque<(u64, E)>,
     ) -> Option<(u64, E)> {
+        // The front cache short-circuits the whole ring machinery. Any
+        // ring or overflow events tying its timestamp (higher seq, or
+        // they would be the front) must still come out as part of the
+        // batch: the engine's same-instant fast lane relies on the
+        // queue never holding an event at the delivered instant once a
+        // batch is extracted. The empty-queue churn case skips all of
+        // it.
+        if let Some(f) = self.take_cached_front() {
+            if self.in_ring != 0 || !self.overflow.is_empty() {
+                self.stage_ties(f.at, out);
+            }
+            return Some((f.at, f.event));
+        }
         let (at, idx) = self.refresh()?;
         let first = self.take_front(idx);
         debug_assert_eq!(first.at, at);
@@ -313,6 +463,15 @@ impl<E> CalendarQueue<E> {
     fn refresh(&mut self) -> Option<(u64, usize)> {
         if let Some(c) = self.candidate {
             return Some(c);
+        }
+        // Already on the slow path (no cached candidate), so the
+        // low-water check costs two compares; a shrink rebuild here
+        // frees the over-sized ring and every slot's retained capacity.
+        // Pop-side only: rebuild re-anchors the cursor, which the peek
+        // path must never do.
+        let pop = self.in_ring + self.overflow.len();
+        if pop < self.shrink_at {
+            self.rebuild(pop.max(1));
         }
         loop {
             if self.in_ring == 0 {
@@ -380,6 +539,20 @@ impl<E> CalendarQueue<E> {
             let Spill(entry) = self.overflow.pop().expect("peeked nonempty");
             self.insert_ring(entry);
         }
+    }
+
+    /// Re-anchors an **empty** queue's window and clock at `at`. Bulk
+    /// drains (the engine's outer-kernel adapter) pop events sitting
+    /// arbitrarily far in the future, dragging `last_popped` and the
+    /// cursor out to the drained horizon; once nothing is stored those
+    /// anchors are meaningless, and leaving them there would reject —
+    /// or worse, strand behind the window — the caller's next schedule
+    /// at the *real* current time.
+    pub(crate) fn reanchor(&mut self, at: u64) {
+        debug_assert!(self.is_empty(), "reanchor requires an empty queue");
+        self.cursor = at >> self.shift;
+        self.last_popped = at;
+        self.candidate = None;
     }
 
     /// Re-hashes every pending event into a ring resized for the
@@ -503,6 +676,40 @@ mod tests {
         expect.sort();
         let got: Vec<(u64, u64)> = drain(&mut q).into_iter().map(|(a, s, _)| (a, s)).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn ring_shrinks_after_population_drains() {
+        let mut q = CalendarQueue::with_capacity(64);
+        // Grow the ring with a dense burst...
+        for seq in 0..20_000u64 {
+            q.schedule((seq * 131) % 2_000_000, seq, seq as u32);
+        }
+        let grown = q.ring_size();
+        assert!(grown > 64, "burst should have grown the ring");
+        // ...drain it down to a trickle, and keep popping: the
+        // low-water rebuild must kick in and downsize the ring.
+        let mut last = 0;
+        for _ in 0..19_990 {
+            let (at, _, _) = q.pop().expect("still populated");
+            assert!(at >= last);
+            last = at;
+        }
+        // Pops only shrink on the candidate-miss slow path; a few
+        // schedule/pop rounds at the tail guarantee one.
+        for seq in 20_000..20_020u64 {
+            q.schedule(last + (seq - 20_000) * 3, seq, seq as u32);
+            let (at, _, _) = q.pop().expect("nonempty");
+            last = at;
+        }
+        assert!(
+            q.ring_size() < grown,
+            "ring stayed at {} buckets with ~10 events pending",
+            q.ring_size()
+        );
+        // Order still holds through the shrink.
+        let rest = drain(&mut q);
+        assert!(rest.windows(2).all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)));
     }
 
     #[test]

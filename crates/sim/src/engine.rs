@@ -184,6 +184,50 @@ impl<E> EventQueue<E> {
         self.clamped
     }
 
+    /// Advances the queue's clock without delivering an event.
+    ///
+    /// Adapter hook for *outer kernels* that drive a captive [`Model`]
+    /// by hand (e.g. a multi-machine composition where one shared
+    /// queue interleaves several models' events): the captive model's
+    /// scratch queue must agree with the outer clock before each
+    /// `handle` call, or relative [`EventQueue::schedule`] calls would
+    /// resolve against a stale `now`. Time only moves forward; rewinds
+    /// are a caller bug.
+    pub fn sync_to(&mut self, now: SimTime) {
+        debug_assert!(now >= self.now, "sync_to must not rewind the clock");
+        self.now = now;
+    }
+
+    /// Removes every pending event in delivery order — `(time,
+    /// insertion order)`, exactly as [`Model::handle`] would see them —
+    /// handing each to `f`.
+    ///
+    /// The clock and the `delivered` counter are untouched: this is
+    /// the second half of the outer-kernel adapter (see
+    /// [`EventQueue::sync_to`]), where drained events are re-scheduled
+    /// into the outer queue rather than delivered, so they must not
+    /// count as deliveries or drag `now` to the drained timestamps.
+    pub fn drain_pending(&mut self, mut f: impl FnMut(SimTime, E)) {
+        loop {
+            if let Some((_, event)) = self.ready.pop_front() {
+                f(self.ready_at, event);
+                continue;
+            }
+            match self.calendar.pop_batch(&mut self.ready) {
+                Some((at, event)) => {
+                    self.ready_at = SimTime::from_picos(at);
+                    f(self.ready_at, event);
+                }
+                None => break,
+            }
+        }
+        // The bulk pops above anchored the calendar's window on the
+        // *drained* timestamps — arbitrarily far ahead of the clock.
+        // Re-anchor the now-empty calendar on `now` so the model's next
+        // handler call can schedule at the real current time again.
+        self.calendar.reanchor(self.now.as_picos());
+    }
+
     fn pop(&mut self) -> Option<(SimTime, E)> {
         let (at, event) = match self.ready.pop_front() {
             Some((_, event)) => (self.ready_at, event),
@@ -471,6 +515,40 @@ mod tests {
             q.schedule(SimDuration::from_picos(i), i as u32);
         }
         assert_eq!(q.len(), 1000);
+    }
+
+    #[test]
+    fn drain_pending_yields_delivery_order_without_advancing_time() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(8);
+        q.sync_to(SimTime::from_picos(100));
+        q.schedule(SimDuration::from_picos(50), 2);
+        q.schedule(SimDuration::ZERO, 0); // at-now fast lane
+        q.schedule(SimDuration::from_picos(50), 3); // tie with 2: FIFO
+        q.schedule(SimDuration::ZERO, 1);
+        q.schedule(SimDuration::from_picos(10), 9);
+        let mut drained = Vec::new();
+        q.drain_pending(|at, ev| drained.push((at.as_picos(), ev)));
+        assert_eq!(
+            drained,
+            vec![(100, 0), (100, 1), (110, 9), (150, 2), (150, 3)],
+            "drain order must match delivery order"
+        );
+        assert!(q.is_empty());
+        // The drain is bookkeeping, not delivery: clock and counters
+        // are unchanged, so a subsequent sync_to cannot go backwards.
+        assert_eq!(q.now(), SimTime::from_picos(100));
+        assert_eq!(q.delivered(), 0);
+        q.sync_to(SimTime::from_picos(101));
+    }
+
+    #[test]
+    fn sync_to_resolves_relative_schedules() {
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(8);
+        q.sync_to(SimTime::from_picos(40));
+        q.schedule(SimDuration::from_picos(5), 7);
+        let mut drained = Vec::new();
+        q.drain_pending(|at, ev| drained.push((at.as_picos(), ev)));
+        assert_eq!(drained, vec![(45, 7)]);
     }
 
     #[test]

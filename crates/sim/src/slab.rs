@@ -57,6 +57,11 @@ pub struct Slab<T> {
     /// Indices of vacant slots, reused LIFO (the hottest line first).
     free: Vec<u32>,
     live: usize,
+    /// Generation floor for slots created after a tail trim: every new
+    /// slot starts here, strictly above any generation a retired slot
+    /// ever issued, so handles into trimmed slots can never alias a
+    /// later occupant of the same index.
+    floor_gen: u32,
 }
 
 impl<T> Default for Slab<T> {
@@ -72,6 +77,7 @@ impl<T> Slab<T> {
             slots: Vec::new(),
             free: Vec::new(),
             live: 0,
+            floor_gen: 0,
         }
     }
 
@@ -81,6 +87,7 @@ impl<T> Slab<T> {
             slots: Vec::with_capacity(capacity),
             free: Vec::with_capacity(capacity),
             live: 0,
+            floor_gen: 0,
         }
     }
 
@@ -115,11 +122,12 @@ impl<T> Slab<T> {
             }
             None => {
                 let index = self.slots.len() as u32;
+                let gen = self.floor_gen;
                 self.slots.push(Slot {
-                    gen: 0,
+                    gen,
                     val: Some(val),
                 });
-                SlotId { index, gen: 0 }
+                SlotId { index, gen }
             }
         }
     }
@@ -136,7 +144,36 @@ impl<T> Slab<T> {
         slot.gen = slot.gen.wrapping_add(1);
         self.free.push(id.index);
         self.live -= 1;
+        if self.slots.len() >= 64 && self.live * 4 < self.slots.len() {
+            self.trim_tail();
+        }
         Some(val)
+    }
+
+    /// Retires vacant slots off the tail once the live population has
+    /// fallen to a quarter of the table's high-water mark, capping the
+    /// footprint at roughly 2× the live set instead of letting one
+    /// burst pin it forever. LIFO free-list reuse keeps live entries
+    /// clustered at the low indices, so the tail is where vacancy
+    /// accumulates. Every retired slot raises `floor_gen` past its
+    /// last generation, keeping stale handles unambiguous if the table
+    /// later re-grows over the same indices.
+    fn trim_tail(&mut self) {
+        let keep = (self.live * 2).max(32);
+        let mut new_len = self.slots.len();
+        while new_len > keep && self.slots[new_len - 1].val.is_none() {
+            new_len -= 1;
+        }
+        if new_len == self.slots.len() {
+            return;
+        }
+        for slot in &self.slots[new_len..] {
+            self.floor_gen = self.floor_gen.max(slot.gen.wrapping_add(1));
+        }
+        self.slots.truncate(new_len);
+        self.slots.shrink_to_fit();
+        self.free.retain(|&i| (i as usize) < new_len);
+        self.free.shrink_to_fit();
     }
 
     /// The entry behind `id`, or `None` for stale/invalid handles.
@@ -221,6 +258,34 @@ mod tests {
         let b = slab.insert(2);
         let c = slab.insert(3);
         assert_ne!(b.index(), c.index());
+    }
+
+    #[test]
+    fn tail_trims_after_burst_drains() {
+        let mut slab = Slab::new();
+        let ids: Vec<_> = (0..1000).map(|i| slab.insert(i)).collect();
+        assert_eq!(slab.capacity_used(), 1000);
+        // Drain the burst newest-first so vacancy lands on the tail.
+        for id in ids.iter().skip(8).rev() {
+            slab.remove(*id);
+        }
+        assert!(
+            slab.capacity_used() < 1000,
+            "table stayed at {} slots with 8 live entries",
+            slab.capacity_used()
+        );
+        // Survivors are untouched, and handles into the retired range
+        // miss rather than alias anything newly grown.
+        for (i, id) in ids.iter().enumerate().take(8) {
+            assert_eq!(slab.get(*id), Some(&(i as i32)));
+        }
+        let regrown: Vec<_> = (0..1000).map(|i| slab.insert(i + 1000)).collect();
+        for id in ids.iter().skip(8) {
+            assert_eq!(slab.get(*id), None, "stale handle aliased after regrow");
+        }
+        for (i, id) in regrown.iter().enumerate() {
+            assert_eq!(slab.get(*id), Some(&(i as i32 + 1000)));
+        }
     }
 
     #[test]

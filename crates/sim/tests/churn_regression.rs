@@ -1,0 +1,106 @@
+//! Churn-throughput regression guard.
+//!
+//! The self-rescheduling timer pattern — deliver one event, schedule
+//! one follow-on a few nanoseconds out, population hovering near one —
+//! is the event kernel's worst case for queue-maintenance overhead,
+//! and the shape that regressed when the calendar queue first replaced
+//! the binary heap (before the front-cache fix). This test pins the
+//! fix in CI: the calendar-backed [`EventQueue`] must stay within a
+//! generous factor of a plain `BinaryHeap` reference driven through
+//! the identical pattern, **measured in the same process on the same
+//! host**, so the ratio is robust to machine speed and build profile
+//! even though absolute wall-clock is not.
+//!
+//! The ratio floor is deliberately loose (the calendar actually *beats*
+//! the heap on this shape thanks to the front cache): it only trips on
+//! a genuine constant-factor collapse, not scheduler jitter.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use accelflow_sim::engine::{EventQueue, Model, Simulation};
+use accelflow_sim::time::{SimDuration, SimTime};
+
+/// Deliveries per repetition — enough to swamp timer granularity in
+/// debug builds while keeping the test under a second.
+const OPS: u64 = 200_000;
+/// Minimum acceptable calendar/heap throughput ratio. The heap-era
+/// kernel scored 1.0 by definition; the regression this guards against
+/// was a >2× collapse on exactly this shape.
+const FLOOR: f64 = 0.5;
+/// Best-of repetitions, filtering scheduler noise.
+const REPS: usize = 3;
+
+/// The bench_record `engine_churn_1m` model, scaled down: every
+/// delivery schedules one follow-on at a staggered nanosecond delay.
+struct Churn {
+    left: u64,
+}
+
+impl Model for Churn {
+    type Event = u32;
+    fn handle(&mut self, _now: SimTime, ev: u32, queue: &mut EventQueue<u32>) {
+        if self.left > 0 {
+            self.left -= 1;
+            queue.schedule(
+                SimDuration::from_nanos(u64::from(ev % 97) + 1),
+                ev.wrapping_add(1),
+            );
+        }
+    }
+}
+
+/// Events/second through the real engine (calendar-backed queue).
+fn engine_churn_rate() -> f64 {
+    let t0 = Instant::now();
+    let mut sim = Simulation::new(Churn { left: OPS });
+    sim.queue_mut().schedule(SimDuration::ZERO, 1);
+    sim.run();
+    let delivered = sim.queue_mut().delivered();
+    assert_eq!(delivered, OPS + 1, "churn model lost events");
+    delivered as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Events/second through an inline `BinaryHeap` kernel driving the
+/// identical pattern: min-heap on `(time, seq)`, same delays, same
+/// event payloads, same delivery count.
+fn heap_churn_rate() -> f64 {
+    let t0 = Instant::now();
+    let mut heap: BinaryHeap<Reverse<(u64, u64, u32)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let mut left = OPS;
+    let mut delivered = 0u64;
+    heap.push(Reverse((0, seq, 1u32)));
+    seq += 1;
+    while let Some(Reverse((now, _, ev))) = heap.pop() {
+        delivered += 1;
+        if left > 0 {
+            left -= 1;
+            let delay_ps = (u64::from(ev % 97) + 1) * 1_000;
+            heap.push(Reverse((now + delay_ps, seq, ev.wrapping_add(1))));
+            seq += 1;
+        }
+    }
+    assert_eq!(delivered, OPS + 1, "heap reference lost events");
+    delivered as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn best_of(mut f: impl FnMut() -> f64) -> f64 {
+    (0..REPS).map(|_| f()).fold(0.0f64, f64::max)
+}
+
+#[test]
+fn calendar_churn_keeps_pace_with_the_binary_heap() {
+    let engine = best_of(engine_churn_rate);
+    let heap = best_of(heap_churn_rate);
+    let ratio = engine / heap;
+    println!(
+        "churn throughput: engine {engine:.0}/s, heap reference {heap:.0}/s, ratio {ratio:.2}"
+    );
+    assert!(
+        ratio >= FLOOR,
+        "calendar kernel regressed on the churn shape: {engine:.0}/s vs heap {heap:.0}/s \
+         (ratio {ratio:.2} < floor {FLOOR})"
+    );
+}
