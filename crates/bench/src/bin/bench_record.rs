@@ -220,6 +220,41 @@ fn machine_run(name: &'static str, policy: Policy, bursty: bool, rps: f64) -> Me
     )
 }
 
+/// Open-loop arrival generation at the headline scale: one simulated
+/// day (diurnal modulation) streamed through [`openloop_each`] and
+/// *counted, not collected* — the generator must sustain 1M+ arrivals
+/// without holding them, so this bench tracks generation throughput
+/// and keeps the trajectory's peak-RSS figure honest. "Events" here
+/// are generated arrivals, not kernel deliveries.
+///
+/// [`openloop_each`]: accelflow_workloads::openloop::openloop_each
+fn bench_openloop_arrivals() -> Measure {
+    use accelflow_accel::timing::ServiceTimeModel;
+    use accelflow_trace::templates::TraceLibrary;
+    use accelflow_workloads::openloop::{openloop_each, Diurnal};
+    let services = socialnetwork::all();
+    let lib = TraceLibrary::standard();
+    let timing =
+        ServiceTimeModel::calibrated(accelflow_arch::config::ArchConfig::icelake().core_clock);
+    // all() has 8 services: 15.7k mean rps each over 8 s ≈ 1.0M total.
+    let duration = SimDuration::from_millis(8_000);
+    let process = Diurnal::day(duration, 0.8);
+    best_of("openloop_1m_arrivals", || {
+        let mut n = 0u64;
+        openloop_each(
+            &process,
+            &services,
+            &lib,
+            &timing,
+            15_700.0,
+            duration,
+            seed(),
+            |_| n += 1,
+        );
+        n
+    })
+}
+
 /// Peak resident set size in kB (`VmHWM`), or 0 where unavailable.
 fn peak_rss_kb() -> u64 {
     std::fs::read_to_string("/proc/self/status")
@@ -283,6 +318,9 @@ fn run_all() -> Vec<Measure> {
             false,
             4_000.0,
         ));
+    }
+    if want("openloop_1m_arrivals") {
+        out.push(bench_openloop_arrivals());
     }
     out
 }

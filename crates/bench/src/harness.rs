@@ -456,6 +456,7 @@ mod slo_tests {
             measured: SimDuration::from_millis(10),
             ended_at: SimTime::ZERO + SimDuration::from_millis(10),
             faults: accelflow_core::FaultStats::default(),
+            control: accelflow_core::ControlStats::default(),
             audit: accelflow_core::audit::AuditReport::disabled(),
             telemetry: accelflow_sim::telemetry::TelemetryReport::disabled(),
         }
@@ -510,6 +511,7 @@ mod slo_tests {
             measured: SimDuration::ZERO,
             ended_at: SimTime::ZERO,
             faults: accelflow_core::FaultStats::default(),
+            control: accelflow_core::ControlStats::default(),
             audit: accelflow_core::audit::AuditReport::disabled(),
             telemetry: accelflow_sim::telemetry::TelemetryReport::disabled(),
         };

@@ -127,6 +127,116 @@ fn cluster_sweeps_are_byte_identical_to_sequential() {
 }
 
 #[test]
+fn openloop_generators_are_seed_deterministic() {
+    // Every arrival generator must produce a byte-identical stream for
+    // a fixed seed — the open-loop engine's whole determinism contract
+    // (docs/WORKLOADS.md) rests on this.
+    use accelflow_accel::timing::ServiceTimeModel;
+    use accelflow_arch::config::ArchConfig;
+    use accelflow_sim::time::SimDuration;
+    use accelflow_trace::templates::TraceLibrary;
+    use accelflow_workloads::openloop::{
+        openloop_arrivals, ArrivalProcess, ColdStartStorm, CorrelatedBursts, Diurnal, FlashCrowd,
+        Steady,
+    };
+
+    let dur = SimDuration::from_millis(20);
+    let generators: Vec<Box<dyn ArrivalProcess>> = vec![
+        Box::new(Steady),
+        Box::new(Diurnal::day(dur, 0.8)),
+        Box::new(FlashCrowd::for_run(dur, 6.0)),
+        Box::new(CorrelatedBursts::alibaba(dur, 5)),
+        Box::new(ColdStartStorm::azure(dur, 5)),
+    ];
+    let services = vec![socialnetwork::uniq_id(), socialnetwork::login()];
+    let lib = TraceLibrary::standard();
+    let timing = ServiceTimeModel::calibrated(ArchConfig::icelake().core_clock);
+    let stream = |g: &dyn ArrivalProcess, seed: u64| {
+        format!(
+            "{:?}",
+            openloop_arrivals(g, &services, &lib, &timing, 2_000.0, dur, seed)
+        )
+    };
+    let mut fingerprints = Vec::new();
+    for g in &generators {
+        let a = stream(g.as_ref(), 7);
+        let b = stream(g.as_ref(), 7);
+        assert_eq!(a, b, "{}: same seed must be byte-identical", g.name());
+        let c = stream(g.as_ref(), 8);
+        assert_ne!(a, c, "{}: different seed must differ", g.name());
+        fingerprints.push(a);
+    }
+    // Distinct generators shape distinct streams (otherwise the
+    // gallery proves nothing).
+    fingerprints.sort_unstable();
+    fingerprints.dedup();
+    assert_eq!(fingerprints.len(), generators.len());
+}
+
+#[test]
+fn openloop_sweeps_are_thread_count_invariant() {
+    // An open-loop scenario sweep (the stats_openloop shape: generator
+    // feeding a controlled machine) must render identically at any
+    // worker count.
+    use accelflow_accel::timing::ServiceTimeModel;
+    use accelflow_arch::config::ArchConfig;
+    use accelflow_core::control::{AutoscalerConfig, RateLimit};
+    use accelflow_core::machine::Machine;
+    use accelflow_sim::time::SimDuration;
+    use accelflow_trace::templates::TraceLibrary;
+    use accelflow_workloads::openloop::{openloop_arrivals, Diurnal, FlashCrowd};
+
+    let run_cell = |(flash, seed): (bool, u64)| {
+        let services = vec![socialnetwork::uniq_id(), socialnetwork::login()];
+        let lib = TraceLibrary::standard();
+        let timing = ServiceTimeModel::calibrated(ArchConfig::icelake().core_clock);
+        let dur = SimDuration::from_millis(10);
+        let arrivals = if flash {
+            openloop_arrivals(
+                &FlashCrowd::for_run(dur, 5.0),
+                &services,
+                &lib,
+                &timing,
+                2_000.0,
+                dur,
+                seed,
+            )
+        } else {
+            openloop_arrivals(
+                &Diurnal::day(dur, 0.7),
+                &services,
+                &lib,
+                &timing,
+                2_000.0,
+                dur,
+                seed,
+            )
+        };
+        let mut cfg = harness::machine_config(Policy::AccelFlow, Scale::quick());
+        cfg.instances_per_accel = 2;
+        cfg.control.rate_limit = Some(RateLimit {
+            tokens_per_sec: 1_800.0,
+            burst: 16.0,
+        });
+        cfg.control.autoscaler = Some(AutoscalerConfig::reactive());
+        Machine::run_arrivals(&cfg, &services, arrivals, dur, seed)
+    };
+    let cells = vec![(false, 7u64), (true, 7), (false, 42), (true, 42)];
+    let with_threads = |n: &str| {
+        std::env::set_var("ACCELFLOW_THREADS", n);
+        let out = render(&sweep::map(cells.clone(), run_cell));
+        std::env::remove_var("ACCELFLOW_THREADS");
+        out
+    };
+    let seq = with_threads("1");
+    let par = with_threads("4");
+    assert_eq!(seq, par, "open-loop sweep depends on thread count");
+    // The control path actually engaged.
+    let swept = sweep::map(cells, run_cell);
+    assert!(swept.iter().all(|r| r.control.admitted > 0));
+}
+
+#[test]
 fn throughput_search_is_thread_count_invariant() {
     // The speculative parallel search must return the sequential
     // result for a small machine regardless of worker count.

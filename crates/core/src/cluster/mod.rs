@@ -436,8 +436,8 @@ impl Cluster {
         let mut sim = Simulation::new(model);
 
         // Seeding order mirrors a bare machine run: the first arrival,
-        // then each node's fault-stream arming, then (cluster-only) the
-        // first keep-alive tick.
+        // then each node's fault-stream and autoscaler arming, then
+        // (cluster-only) the first keep-alive tick.
         if let Some((at, target, local)) = sim.model_mut().dispatch_next(SimTime::ZERO) {
             sim.queue_mut()
                 .schedule_at(at, CEv::Node(target, Ev::Arrive(local)));
@@ -447,6 +447,10 @@ impl Cluster {
             for (at, class) in armed {
                 sim.queue_mut()
                     .schedule_at(at, CEv::Node(i as u16, Ev::FaultInject(class)));
+            }
+            if let Some(at) = sim.model().nodes[i].machine.arm_autoscaler() {
+                sim.queue_mut()
+                    .schedule_at(at, CEv::Node(i as u16, Ev::ScaleTick));
             }
         }
         if let Some(tick) = cfg.keepalive {
@@ -564,6 +568,35 @@ mod tests {
             report.health.polls
         );
         assert_eq!(report.health.suspensions, 0, "no faults, no suspensions");
+    }
+
+    #[test]
+    fn per_node_control_arms_and_aggregates() {
+        let mut node = node_cfg();
+        node.instances_per_accel = 4;
+        node.control.rate_limit = Some(crate::control::RateLimit {
+            tokens_per_sec: 20_000.0,
+            burst: 4.0,
+        });
+        node.control.autoscaler = Some(crate::control::AutoscalerConfig::static_at(2));
+        let cfg = ClusterConfig::new(3, node);
+        let report =
+            Cluster::run_workload(&cfg, &[ping()], 150_000.0, SimDuration::from_millis(4), 21);
+        let control = report.control();
+        // Each node's ingress throttles independently...
+        assert!(report.per_node.iter().all(|n| n.control.rate_limited > 0));
+        // ...and the fleet view sums them.
+        assert_eq!(
+            control.rate_limited,
+            report.per_node.iter().map(|n| n.control.rate_limited).sum()
+        );
+        assert!(control.admitted > 0);
+        // The per-node tick chains ran (armed through the outer kernel).
+        assert!(control.scaler_samples > 0, "{control:?}");
+        assert!(control.scaler_dark_time > SimDuration::ZERO);
+        for node in &report.per_node {
+            assert!(node.audit.is_clean(), "{:?}", node.audit);
+        }
     }
 
     #[test]

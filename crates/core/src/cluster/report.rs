@@ -92,6 +92,17 @@ impl ClusterReport {
         self.aggregate_latency().percentile_duration(99.0)
     }
 
+    /// Every node's online-control counters summed (admissions,
+    /// rejections, SLO windows, scaling actions). All zeros when
+    /// control is disabled.
+    pub fn control(&self) -> crate::control::ControlStats {
+        let mut total = crate::control::ControlStats::default();
+        for node in &self.per_node {
+            total.absorb(&node.control);
+        }
+        total
+    }
+
     /// Fleet-wide deadline misses (requests finishing past their SLO).
     pub fn deadline_misses(&self) -> u64 {
         self.per_node
@@ -137,6 +148,7 @@ mod tests {
             measured: SimDuration::from_millis(2),
             ended_at: SimTime::ZERO + SimDuration::from_millis(2),
             faults: crate::faults::FaultStats::default(),
+            control: crate::control::ControlStats::default(),
             audit: crate::audit::AuditReport::disabled(),
             telemetry: accelflow_sim::telemetry::TelemetryReport::disabled(),
         }

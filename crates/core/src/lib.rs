@@ -25,6 +25,10 @@
 //! - [`faults`] — seeded deterministic fault injection (stalls, DMA
 //!   errors, TLB shootdowns, queue drops, ATM misses) and the recovery
 //!   counters; see `docs/RESILIENCE.md`.
+//! - [`control`] — online traffic control for open-loop load:
+//!   per-tenant rate limiting, admission ceilings, SLO-window
+//!   tracking, and the telemetry-feedback station autoscaler; see
+//!   `docs/WORKLOADS.md`.
 //! - [`cluster`] — a fleet of machines behind a two-level
 //!   orchestrator: one shared event kernel, pluggable load balancers,
 //!   an inter-node link model, and keep-alive health relocation; see
@@ -48,6 +52,7 @@
 pub mod arrivals;
 pub mod audit;
 pub mod cluster;
+pub mod control;
 pub mod faults;
 pub mod machine;
 pub mod policy;
@@ -57,6 +62,7 @@ pub mod stats;
 pub use arrivals::{poisson_arrivals, Arrival, BUFFER_POOL};
 pub use audit::{AuditReport, Auditor, Violation};
 pub use cluster::{BalancerKind, Cluster, ClusterConfig, ClusterReport, NodeLink};
+pub use control::{AutoscalerConfig, ControlConfig, ControlStats, RateLimit, SloTarget};
 pub use faults::{FaultClass, FaultConfig, FaultStats};
 pub use machine::{Machine, MachineConfig};
 pub use policy::Policy;

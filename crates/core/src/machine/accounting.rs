@@ -263,6 +263,13 @@ impl MachineCtx {
             }
             None => crate::faults::FaultStats::default(),
         };
+        let control = match self.control.take() {
+            Some(mut c) => {
+                c.finalize(now);
+                c.stats
+            }
+            None => crate::control::ControlStats::default(),
+        };
         let audit = match self.auditor.take() {
             Some(mut aud) => {
                 let offered: u64 = self.stats.iter().map(|s| s.offered).sum();
@@ -280,7 +287,11 @@ impl MachineCtx {
         }
         let telemetry = match self.tel.take() {
             Some(t) => {
-                let t = *t;
+                let mut t = *t;
+                // Count trailing empty windows (the run horizon may
+                // land exactly on a window edge) instead of silently
+                // truncating the series.
+                t.sampler.close(now);
                 t.sink.into_report_with_samples(t.sampler)
             }
             None => TelemetryReport::disabled(),
@@ -291,6 +302,7 @@ impl MachineCtx {
             measured: end.saturating_since(self.warmup_end),
             ended_at: now,
             faults,
+            control,
             audit,
             telemetry,
         }

@@ -105,7 +105,7 @@ impl MachineCtx {
                     Err(back) => entry = Some(back),
                 }
             }
-            if self.faults.is_none() {
+            if !self.stations_may_be_dark() {
                 break; // no station is ever dark; one pass covers all
             }
         }

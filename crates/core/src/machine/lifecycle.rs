@@ -59,6 +59,17 @@ impl MachineCtx {
             queue.schedule_at(at, Ev::Arrive(idx + 1));
         }
         let measured = now >= self.warmup_end && now < self.end;
+        // Ingress control (rate limit / admission ceiling): a rejected
+        // arrival is never admitted — no request state, no `offered`
+        // row, no audit record — but the arrival chain above already
+        // ran, so the open-loop stream never stalls.
+        if self.control.is_some() {
+            let tenant = arrival.tenant.0 as usize;
+            if let Some(reason) = self.ingress_reject_reason(now, tenant, measured) {
+                self.tel_instant(now, CompId::MACHINE, reason, idx);
+                return;
+            }
+        }
         let deadline = arrival.program.slo_slack.map(|slack| {
             let est = self.unloaded_estimate(&arrival.program);
             now + est * slack
@@ -329,6 +340,13 @@ impl MachineCtx {
                 stats.tax_by_kind[i] += *d;
             }
             stats.app_logic += app;
+        }
+        if measured {
+            // SLO-window tracking (docs/WORKLOADS.md): bucket this
+            // completion into the current window.
+            if let Some(c) = self.control.as_mut() {
+                c.observe_completion(now, latency);
+            }
         }
         // Free the slot: the slab recycles it for the next admission,
         // and the bumped generation turns any straggler lookup through

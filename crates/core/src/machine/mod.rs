@@ -38,15 +38,19 @@
 //! | `transfer` | core→accelerator submission, inter-hop payload movement, external responses |
 //! | `fallback` | CPU execution of segments (Non-acc and overflow escape) |
 //! | `resilience` | fault injection and recovery (retry/backoff, sibling re-dispatch, CPU degrade) |
+//! | `scaling` | ingress control (rate limit / admission) and the telemetry-feedback autoscaler |
 //! | `accounting` | latency breakdowns, stats/energy emission, telemetry, audit hooks, reports |
 //! | [`orchestrator`] | the [`Orchestrator`] trait and its ten per-policy implementations |
 
 mod accounting;
+#[cfg(test)]
+mod control_tests;
 mod dispatch;
 mod fallback;
 mod lifecycle;
 pub mod orchestrator;
 mod resilience;
+mod scaling;
 #[cfg(test)]
 mod tests;
 mod transfer;
@@ -72,6 +76,7 @@ use accelflow_trace::kind::AccelKind;
 use accelflow_trace::templates::TraceLibrary;
 
 use crate::arrivals::{poisson_arrivals, Arrival};
+use crate::control::{ControlConfig, ControlState};
 use crate::faults::{FaultClass, FaultConfig, FaultState};
 use crate::policy::Policy;
 use crate::request::{CallAddr, Program, ServiceSpec, Step, TraceCall};
@@ -135,6 +140,13 @@ pub struct MachineConfig {
     /// draws no fault randomness, and emits a bit-identical event
     /// stream. See [`crate::faults`] and `docs/RESILIENCE.md`.
     pub faults: FaultConfig,
+    /// Online traffic control for open-loop load: per-tenant rate
+    /// limiting, admission ceilings, SLO-window tracking, and the
+    /// telemetry-feedback station autoscaler. Disabled by default:
+    /// the machine then builds no control state and emits a
+    /// bit-identical event stream. See [`crate::control`] and
+    /// `docs/WORKLOADS.md`.
+    pub control: ControlConfig,
 }
 
 impl MachineConfig {
@@ -157,6 +169,7 @@ impl MachineConfig {
             telemetry_capacity: 1 << 18,
             telemetry_sample: SimDuration::from_micros(50),
             faults: FaultConfig::disabled(),
+            control: ControlConfig::disabled(),
         }
     }
 
@@ -246,6 +259,11 @@ pub enum Ev {
     FaultInject(FaultClass),
     /// A station's stall window may have ended; wake its queues.
     StallEnd(u8),
+    /// Periodic autoscaler tick: sample utilization and light/darken
+    /// stations. Never scheduled when
+    /// [`MachineConfig::control`] has no autoscaler, so the golden
+    /// event streams are unchanged.
+    ScaleTick,
 }
 
 /// The machine's shared mutable state: every hardware model, the
@@ -299,6 +317,9 @@ pub struct MachineCtx {
     /// Fault-injector state; `None` when every rate is zero, so the
     /// fault-free hot path pays a single branch.
     pub(crate) faults: Option<Box<FaultState>>,
+    /// Online-control state; `None` when control is disabled, so the
+    /// control-free hot path pays a single branch.
+    pub(crate) control: Option<Box<ControlState>>,
 }
 
 /// The simulated server.
@@ -362,6 +383,16 @@ impl Machine {
                 cfg.arch.pes_per_accelerator,
             ))
         });
+        let kind_names: Vec<&'static str> = AccelKind::ALL.iter().map(|k| k.name()).collect();
+        let control = cfg.control.enabled().then(|| {
+            Box::new(ControlState::new(
+                cfg.control.clone(),
+                accels.len(),
+                instances,
+                &kind_names,
+                warmup_end,
+            ))
+        });
         Machine {
             ctx: MachineCtx {
                 cfg,
@@ -394,6 +425,7 @@ impl Machine {
                 auditor,
                 tel,
                 faults,
+                control,
             },
         }
     }
@@ -496,6 +528,10 @@ impl Machine {
         for (at, class) in initial_faults {
             sim.queue_mut().schedule_at(at, Ev::FaultInject(class));
         }
+        // Arm the autoscaler's tick chain (no-op without an autoscaler).
+        if let Some(at) = sim.model().machine.ctx.first_scale_tick() {
+            sim.queue_mut().schedule_at(at, Ev::ScaleTick);
+        }
         // Generous drain: stragglers get 30 ms past the arrival window.
         let drain = end + SimDuration::from_millis(30);
         sim.run_until(drain);
@@ -549,6 +585,13 @@ impl Machine {
     /// returned events into its own queue.
     pub(crate) fn arm_initial_faults(&mut self) -> Vec<(SimTime, FaultClass)> {
         self.ctx.draw_initial_faults()
+    }
+
+    /// First autoscaler tick instant, if an autoscaler is configured;
+    /// the caller schedules the [`Ev::ScaleTick`] itself (the tick
+    /// chain then re-arms through the machine's own queue handle).
+    pub(crate) fn arm_autoscaler(&self) -> Option<SimTime> {
+        self.ctx.first_scale_tick()
     }
 
     /// Extracts the run report once the outer kernel has drained.
@@ -653,6 +696,7 @@ impl Model for Machine {
             Ev::Timeout { req, step, par } => ctx.on_timeout(now, req, step, par),
             Ev::FaultInject(class) => ctx.on_fault_inject(now, class, queue),
             Ev::StallEnd(station) => ctx.on_stall_end(now, station, queue),
+            Ev::ScaleTick => ctx.on_scale_tick(now, queue),
         }
         ctx.audit_post_event(now);
     }

@@ -42,12 +42,21 @@ impl MachineCtx {
             .collect()
     }
 
-    /// Whether `station`'s PEs may start work at `now` (always true
-    /// when fault injection is off).
+    /// Whether `station`'s PEs may start work at `now`: not inside a
+    /// fault-injected stall window, and lit by the autoscaler (always
+    /// true when both subsystems are off).
     pub(crate) fn station_available(&self, station: usize, now: SimTime) -> bool {
         self.faults
             .as_ref()
             .is_none_or(|f| f.avail.is_available(station, now))
+            && self.control.as_ref().is_none_or(|c| c.station_lit(station))
+    }
+
+    /// Whether any station could currently be dark — fault injection
+    /// live, or the autoscaler managing a lit set. The dispatch paths
+    /// use this to keep the no-darkness fast path a single branch.
+    pub(crate) fn stations_may_be_dark(&self) -> bool {
+        self.faults.is_some() || self.control.as_ref().is_some_and(|c| c.scaler_active())
     }
 
     /// Dispatcher-side routing with darkness awareness: prefers the
@@ -58,7 +67,7 @@ impl MachineCtx {
     /// buffers, and PEs resume at [`Ev::StallEnd`].
     pub(crate) fn route_station(&mut self, kind: AccelKind, now: SimTime) -> usize {
         let preferred = self.least_loaded_station(kind);
-        if self.faults.is_none() || self.station_available(preferred, now) {
+        if !self.stations_may_be_dark() || self.station_available(preferred, now) {
             return preferred;
         }
         let lit = self
@@ -67,11 +76,12 @@ impl MachineCtx {
             .min_by_key(|&i| self.accels[i].input().backlog());
         match lit {
             Some(station) => {
-                self.faults
-                    .as_mut()
-                    .expect("dark station implies injector")
-                    .stats
-                    .redispatches += 1;
+                // Routing around a *fault*-dark station is a counted
+                // re-dispatch; skipping a scaler-darkened sibling is
+                // just the intended lit-set routing.
+                if let Some(f) = self.faults.as_mut() {
+                    f.stats.redispatches += 1;
+                }
                 station
             }
             None => preferred,

@@ -197,6 +197,11 @@ pub struct RunReport {
     /// Fault-injection and recovery counters (all zeros when injection
     /// was disabled); see `docs/RESILIENCE.md` and `docs/METRICS.md`.
     pub faults: crate::faults::FaultStats,
+    /// Online-control counters: ingress admissions/rejections,
+    /// SLO-window compliance, and autoscaler actions (all zeros when
+    /// control was disabled); see `docs/WORKLOADS.md` and
+    /// `docs/METRICS.md`.
+    pub control: crate::control::ControlStats,
     /// Invariant-audit outcome (empty/clean when auditing was off).
     pub audit: crate::audit::AuditReport,
     /// Captured telemetry: component-keyed records, track labels, and
@@ -326,6 +331,7 @@ mod tests {
             measured: SimDuration::from_millis(1),
             ended_at: SimTime::ZERO + SimDuration::from_millis(1),
             faults: crate::faults::FaultStats::default(),
+            control: crate::control::ControlStats::default(),
             audit: crate::audit::AuditReport::disabled(),
             telemetry: accelflow_sim::telemetry::TelemetryReport::disabled(),
         };

@@ -216,6 +216,35 @@ fn zero_rate_faults_keep_the_golden_streams() {
 }
 
 #[test]
+fn passive_control_keeps_the_golden_streams() {
+    // Online control draws no randomness, and its *passive* pieces
+    // (SLO-window tracking, a rate limit too generous to ever reject)
+    // observe the run without scheduling or suppressing any event, so
+    // the stream must hash straight back to the committed goldens.
+    // An autoscaler is NOT passive — its ScaleTick chain is an event.
+    use accelflow_core::{RateLimit, SloTarget};
+    for &(policy, nominal, _) in GOLDEN
+        .iter()
+        .filter(|(p, _, _)| matches!(p, Policy::AccelFlow | Policy::Relief | Policy::NonAcc))
+    {
+        let (h, _) = nominal_hash_with(policy, |cfg| {
+            cfg.control.rate_limit = Some(RateLimit {
+                tokens_per_sec: 1e12,
+                burst: 1e12,
+            });
+            cfg.control.slo = Some(SloTarget {
+                window: SimDuration::from_millis(1),
+                p99_target: SimDuration::from_micros(200),
+            });
+        });
+        assert_eq!(
+            h, nominal,
+            "{policy}: passive-control stream drifted from the golden hash"
+        );
+    }
+}
+
+#[test]
 fn fault_streams_are_reproducible_and_distinct() {
     use accelflow_core::FaultConfig;
     let faulty = |_: &()| {

@@ -340,14 +340,18 @@ impl Telemetry {
             labels: self.labels,
             columns: Vec::new(),
             samples: Vec::new(),
+            samples_missed: 0,
         }
     }
 
-    /// Drains the sink and a [`Sampler`] into one report.
+    /// Drains the sink and a [`Sampler`] into one report. Call
+    /// [`Sampler::close`] with the run horizon first so trailing empty
+    /// windows are counted in `samples_missed` instead of vanishing.
     pub fn into_report_with_samples(self, sampler: Sampler) -> TelemetryReport {
         let mut report = self.into_report();
         report.columns = sampler.columns;
         report.samples = sampler.rows;
+        report.samples_missed = sampler.missed;
         report
     }
 }
@@ -365,6 +369,7 @@ pub struct Sampler {
     next: SimTime,
     columns: Vec<String>,
     rows: Vec<(SimTime, Vec<u64>)>,
+    missed: u64,
 }
 
 impl Sampler {
@@ -381,6 +386,7 @@ impl Sampler {
             next: SimTime::ZERO + interval,
             columns,
             rows: Vec::new(),
+            missed: 0,
         }
     }
 
@@ -396,7 +402,10 @@ impl Sampler {
     }
 
     /// Appends a row at `at` and advances the next-due instant past
-    /// `at` (windows with no events are skipped, not back-filled).
+    /// `at`. Windows with no events are skipped, not back-filled — but
+    /// each skipped window is counted in [`Sampler::missed`] (the
+    /// [`Telemetry::dropped`] philosophy: loss is reported, never
+    /// silent).
     ///
     /// # Panics
     ///
@@ -404,9 +413,33 @@ impl Sampler {
     pub fn push_row(&mut self, at: SimTime, values: Vec<u64>) {
         assert_eq!(values.len(), self.columns.len(), "row width mismatch");
         self.rows.push((at, values));
+        // The first advance closes the window this row samples; every
+        // further advance is a window that elapsed with no row.
+        let mut advances = 0u64;
         while self.next <= at {
             self.next += self.interval;
+            advances += 1;
         }
+        self.missed += advances.saturating_sub(1);
+    }
+
+    /// Closes the series at the run horizon: windows that ended at or
+    /// before `horizon` but never received a row (the run went quiet,
+    /// or the horizon landed exactly on a window edge after the last
+    /// delivered event) are counted as missed instead of vanishing.
+    /// Idempotent for a fixed `horizon`.
+    pub fn close(&mut self, horizon: SimTime) {
+        while self.next <= horizon {
+            self.next += self.interval;
+            self.missed += 1;
+        }
+    }
+
+    /// Sampling windows that elapsed without a captured row (including
+    /// tail windows counted by [`Sampler::close`]). Non-zero means the
+    /// series has gaps — surface it next to any rendered sparkline.
+    pub fn missed(&self) -> u64 {
+        self.missed
     }
 
     /// The column names.
@@ -463,6 +496,12 @@ pub struct TelemetryReport {
     pub columns: Vec<String>,
     /// Sampler rows `(instant, values)`, oldest first.
     pub samples: Vec<(SimTime, Vec<u64>)>,
+    /// Sampling windows that elapsed without a row — skipped mid-run
+    /// (no event delivered inside the window) or ending at the run
+    /// horizon with nothing left to trigger a sample. The sampler
+    /// analogue of [`TelemetryReport::dropped`]: a gap in the series
+    /// is reported, never silent.
+    pub samples_missed: u64,
 }
 
 impl TelemetryReport {
@@ -476,6 +515,7 @@ impl TelemetryReport {
             labels: BTreeMap::new(),
             columns: Vec::new(),
             samples: Vec::new(),
+            samples_missed: 0,
         }
     }
 
@@ -1124,6 +1164,27 @@ mod tests {
     fn sampler_rejects_ragged_rows() {
         let mut s = Sampler::new(d(10), vec!["a".into()]);
         s.push_row(t(10), vec![1, 2]);
+    }
+
+    #[test]
+    fn sampler_counts_missed_windows() {
+        let mut s = Sampler::new(d(100), vec!["a".into()]);
+        s.push_row(t(100), vec![1]);
+        assert_eq!(s.missed(), 0, "on-cadence row misses nothing");
+        // Window edges at 200 and 300 pass before the next row at 310;
+        // the late row covers one elapsed window, the other is missed.
+        s.push_row(t(310), vec![2]);
+        assert_eq!(s.missed(), 1, "skipped window counted");
+        // A run ending exactly on a window edge: the window that ends
+        // at the horizon got no row — counted, not silently dropped.
+        s.close(t(400));
+        assert_eq!(s.missed(), 2, "horizon-edge window counted");
+        // Idempotent for the same horizon.
+        s.close(t(400));
+        assert_eq!(s.missed(), 2);
+        let report = Telemetry::new(8).into_report_with_samples(s);
+        assert_eq!(report.samples_missed, 2);
+        assert_eq!(report.samples.len(), 2);
     }
 
     fn sample_report() -> TelemetryReport {

@@ -12,6 +12,9 @@
 //! - [`suites`] — HotelReservation-like and MediaServices-like mixes.
 //! - [`arrivals`] — bursty Alibaba-like and Azure-like arrival
 //!   generators (Markov-modulated Poisson).
+//! - [`openloop`] — composable open-loop arrival processes (diurnal
+//!   cycles, flash crowds, correlated bursts, cold-start storms) via
+//!   the [`openloop::ArrivalProcess`] trait (docs/WORKLOADS.md).
 //! - [`serverless`] — FunctionBench-like functions (Fig 16).
 //! - [`relief_suite`] — coarse-grain accelerator chains standing in
 //!   for the RELIEF gem5 image-processing/RNN applications (Fig 15).
@@ -28,6 +31,7 @@ pub mod arrivals;
 pub mod config;
 pub mod json;
 pub mod musuite;
+pub mod openloop;
 pub mod relief_suite;
 pub mod serverless;
 pub mod socialnetwork;
@@ -35,3 +39,4 @@ pub mod suites;
 pub mod trainticket;
 
 pub use arrivals::{alibaba_like_arrivals, azure_like_arrivals, BurstyProfile};
+pub use openloop::{openloop_arrivals, ArrivalProcess};
