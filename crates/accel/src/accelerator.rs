@@ -260,6 +260,54 @@ impl Accelerator {
     }
 }
 
+impl accelflow_sim::snapshot::Snapshot for Accelerator {
+    fn save(&self, w: &mut accelflow_sim::snapshot::SnapWriter) {
+        self.kind.save(w);
+        w.u8(self.unit.0);
+        self.input.save(w);
+        self.policy.save(w);
+        w.u64(self.pe_busy);
+        w.u64(self.pe_full);
+        self.pe_last_tenant.save(w);
+        self.tlb.save(w);
+        self.busy.save(w);
+        w.u64(self.processed);
+        w.u64(self.tenant_wipes);
+    }
+    fn load(
+        r: &mut accelflow_sim::snapshot::SnapReader<'_>,
+    ) -> Result<Self, accelflow_sim::snapshot::SnapshotError> {
+        use accelflow_sim::snapshot::SnapshotError;
+        let kind = AccelKind::load(r)?;
+        let unit = UnitId(r.u8()?);
+        let input = InputQueue::load(r)?;
+        let policy = crate::dispatcher::QueuePolicy::load(r)?;
+        let pe_busy = r.u64()?;
+        let pe_full = r.u64()?;
+        let pe_last_tenant = Vec::<Option<TenantId>>::load(r)?;
+        let n = pe_last_tenant.len();
+        let expect_full = if n == 64 { !0 } else { (1u64 << n) - 1 };
+        if !(1..=64).contains(&n) || pe_full != expect_full || pe_busy & !pe_full != 0 {
+            return Err(SnapshotError::Corrupt(format!(
+                "inconsistent PE occupancy: {n} PEs, full {pe_full:#x}, busy {pe_busy:#x}"
+            )));
+        }
+        Ok(Accelerator {
+            kind,
+            unit,
+            input,
+            policy,
+            pe_busy,
+            pe_full,
+            pe_last_tenant,
+            tlb: Tlb::load(r)?,
+            busy: BusyTracker::load(r)?,
+            processed: r.u64()?,
+            tenant_wipes: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -407,5 +455,59 @@ mod tests {
     fn completing_idle_pe_panics() {
         let mut a = accel();
         a.complete(0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn snapshot_roundtrip_mid_flight() {
+        use accelflow_sim::snapshot::{SnapReader, SnapWriter, Snapshot};
+        let mut a = accel();
+        for i in 0..5u64 {
+            a.admit_from_core(entry(i, (i % 2) as u16)).unwrap();
+        }
+        let j = a.start_next(SimTime::ZERO).unwrap();
+        a.complete(j.pe, SimDuration::from_micros(2));
+        let _running = a.start_next(SimTime::ZERO).unwrap(); // left in flight
+        let mut w = SnapWriter::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut b = Accelerator::load(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(b.kind(), a.kind());
+        assert_eq!(b.busy_pes(), a.busy_pes());
+        assert_eq!(b.processed(), a.processed());
+        assert_eq!(b.input().len(), a.input().len());
+        assert_eq!(b.busy_time(), a.busy_time());
+        // Both copies dispatch the same next entry onto the same PE.
+        let next_a = a.start_next(SimTime::ZERO).unwrap();
+        let next_b = b.start_next(SimTime::ZERO).unwrap();
+        assert_eq!(next_a.entry.request, next_b.entry.request);
+        assert_eq!(next_a.pe, next_b.pe);
+        assert_eq!(next_a.tenant_wipe, next_b.tenant_wipe);
+    }
+
+    #[test]
+    fn corrupt_pe_mask_rejected() {
+        use accelflow_sim::snapshot::{SnapReader, SnapWriter, Snapshot, SnapshotError};
+        let a = accel();
+        // Hand-encode a stream whose busy mask claims a PE outside the
+        // station's geometry: load must reject it as corrupt.
+        let mut v = SnapWriter::new();
+        a.kind.save(&mut v);
+        v.u8(a.unit.0);
+        a.input.save(&mut v);
+        a.policy.save(&mut v);
+        v.u64(a.pe_full << 1); // busy bit outside pe_full
+        v.u64(a.pe_full);
+        a.pe_last_tenant.save(&mut v);
+        a.tlb.save(&mut v);
+        a.busy.save(&mut v);
+        v.u64(0);
+        v.u64(0);
+        let bytes = v.into_bytes();
+        assert!(matches!(
+            Accelerator::load(&mut SnapReader::new(&bytes)),
+            Err(SnapshotError::Corrupt(_))
+        ));
     }
 }

@@ -95,6 +95,23 @@ impl AvailabilitySet {
     }
 }
 
+impl accelflow_sim::snapshot::Snapshot for AvailabilitySet {
+    fn save(&self, w: &mut accelflow_sim::snapshot::SnapWriter) {
+        self.dark_until.save(w);
+        self.dark_time.save(w);
+        w.u64(self.darkenings);
+    }
+    fn load(
+        r: &mut accelflow_sim::snapshot::SnapReader<'_>,
+    ) -> Result<Self, accelflow_sim::snapshot::SnapshotError> {
+        Ok(AvailabilitySet {
+            dark_until: Vec::load(r)?,
+            dark_time: SimDuration::load(r)?,
+            darkenings: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

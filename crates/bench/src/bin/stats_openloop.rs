@@ -25,6 +25,14 @@
 //! the same work per node. Byte-deterministic at any
 //! `ACCELFLOW_THREADS` (cells fan out over [`sweep::map`]; each run is
 //! single-threaded on seeded streams).
+//!
+//! The sweep grid also shards across processes:
+//! `ACCELFLOW_SHARDS`/`ACCELFLOW_SHARD_INDEX` give each process a
+//! contiguous slice of the cells, and concatenating the shards' result
+//! rows in shard order reproduces the unsharded table byte-for-byte
+//! (`docs/CHECKPOINT.md`; CI diffs two shards against one). The
+//! headline experiment only runs unsharded — it is one cross-policy
+//! comparison, not a grid.
 
 use accelflow_accel::timing::ServiceTimeModel;
 use accelflow_bench::harness::{self, Scale};
@@ -215,14 +223,38 @@ fn main() {
             }
         }
     }
-    let reports = sweep::map(cells.clone(), |(scenario, policy, nodes)| {
+    let shard = sweep::Shard::from_env();
+    if !shard.is_whole() {
+        let range = shard.range(cells.len());
+        println!(
+            "shard {}/{}: cells {}..{} of {}",
+            shard.index,
+            shard.count,
+            range.start,
+            range.end,
+            cells.len()
+        );
+    }
+    let reports = sweep::map_sharded(cells.clone(), |(scenario, policy, nodes)| {
         run_cell(scenario, policy, nodes, scale)
     });
 
     let mut clean = true;
-    for ((scenario, policy, nodes), report) in cells.iter().zip(&reports) {
+    for (i, report) in &reports {
+        let (scenario, policy, nodes) = cells[*i];
         let label = format!("{scenario:<10} {policy:<12} {nodes:>5}");
         clean &= report_row(&label, report);
+    }
+
+    // The headline is one cross-policy comparison, not a grid cell:
+    // a sharded launch runs only the grid slice and skips it.
+    if !shard.is_whole() {
+        if clean {
+            println!("\nall nodes clean under the auditor (shard {})", shard.index);
+            return;
+        }
+        println!("\ninvariant violations detected (shard {})", shard.index);
+        std::process::exit(1);
     }
 
     // ----- headline: one-day diurnal, >=1M arrivals, 4 nodes -----

@@ -173,10 +173,25 @@ pub fn max_throughput_with(
     slo_mult: f64,
     seed: u64,
 ) -> f64 {
+    max_throughput_with_mode(cfg, services, slo_mult, seed, warm_start_enabled())
+}
+
+/// [`max_throughput_with`] with the warm-start mode pinned explicitly
+/// (instead of read from `ACCELFLOW_WARM_START`) — for the determinism
+/// suite's warm-vs-cold equality check and the `bench_record` speedup
+/// measurement.
+pub fn max_throughput_with_mode(
+    cfg: &MachineConfig,
+    services: &[ServiceSpec],
+    slo_mult: f64,
+    seed: u64,
+    warm: bool,
+) -> f64 {
+    let prefix = probe_prefix(cfg, services, seed, warm);
     if sweep::parallelism() == 1 || sweep::in_sweep() {
-        max_throughput_sequential(cfg, services, slo_mult, seed)
+        max_throughput_sequential(&prefix, cfg, services, slo_mult, seed)
     } else {
-        max_throughput_speculative(cfg, services, slo_mult, seed)
+        max_throughput_speculative(&prefix, cfg, services, slo_mult, seed)
     }
 }
 
@@ -186,27 +201,104 @@ const SEARCH_FLOOR_RPS: f64 = 100.0;
 const BRACKET_STEPS: usize = 12;
 /// Halving steps in the bisection phase.
 const BISECT_STEPS: usize = 7;
+/// Load of the shared warm-up prefix every probe forks from — fixed
+/// (not the probe's own load) so the prefix is common to the whole
+/// search and can be simulated once.
+const PREFIX_RPS: f64 = 400.0;
 
-/// One SLO probe at `rps`: the window adapts so every service collects
+/// Whether throughput-search probes warm-start from a shared prefix
+/// snapshot. On by default; `ACCELFLOW_WARM_START=0` (or `off`/
+/// `false`) re-simulates the prefix per probe — same two-phase code
+/// path, byte-identical results (pinned in the bench determinism
+/// suite), just slower. The cold mode is the honest baseline for the
+/// warm-start speedup row in `docs/BENCHMARKS.md`.
+pub fn warm_start_enabled() -> bool {
+    !matches!(
+        std::env::var("ACCELFLOW_WARM_START").as_deref(),
+        Ok("0") | Ok("off") | Ok("false")
+    )
+}
+
+/// The shared probe prefix of one throughput search: `cfg.warmup` of
+/// arrivals at the fixed [`PREFIX_RPS`], simulated once and
+/// snapshotted when `warm` (see [`sweep::WarmStart`]).
+///
+/// Probes historically ran their own load from t = 0, so the queue
+/// ramp-up transient fell inside the (excluded) warmup window; with a
+/// shared light-load prefix the ramp to the probe's load happens at
+/// the measurement boundary instead, which makes the probe marginally
+/// more conservative — and identical for every probe, warm or cold.
+fn probe_prefix(
+    cfg: &MachineConfig,
+    services: &[ServiceSpec],
+    seed: u64,
+    warm: bool,
+) -> sweep::WarmStart {
+    let lib = TraceLibrary::standard();
+    let mut timing = ServiceTimeModel::calibrated(cfg.arch.core_clock);
+    timing.set_speedup_scale(cfg.speedup_scale);
+    let prefix = accelflow_core::arrivals::poisson_arrivals(
+        services,
+        &lib,
+        &timing,
+        PREFIX_RPS,
+        cfg.warmup,
+        seed,
+    );
+    sweep::WarmStart::new(
+        cfg.clone(),
+        services.to_vec(),
+        prefix,
+        cfg.warmup,
+        seed,
+        warm,
+    )
+}
+
+/// One SLO probe at `rps`: fork the shared prefix, append a tail at
+/// the probe load over a window that adapts so every service collects
 /// enough samples for a stable P99 (low-rate probes need longer
-/// windows). Pure in its arguments — the cornerstone of the
+/// windows). Pure in `(prefix, rps)` — the cornerstone of the
 /// speculative parallel search.
-fn probe_report(cfg: &MachineConfig, services: &[ServiceSpec], rps: f64, seed: u64) -> RunReport {
+fn probe_report(
+    prefix: &sweep::WarmStart,
+    cfg: &MachineConfig,
+    services: &[ServiceSpec],
+    rps: f64,
+    seed: u64,
+) -> RunReport {
     let ms = ((400.0 / rps) * 1000.0).clamp(80.0, 2_000.0) as u64;
-    Machine::run_workload(cfg, services, rps, SimDuration::from_millis(ms), seed)
+    let window = SimDuration::from_millis(ms);
+    let lib = TraceLibrary::standard();
+    let mut timing = ServiceTimeModel::calibrated(cfg.arch.core_clock);
+    timing.set_speedup_scale(cfg.speedup_scale);
+    let mut tail =
+        accelflow_core::arrivals::poisson_arrivals(services, &lib, &timing, rps, window, seed);
+    let offset = prefix.prefix_end();
+    for a in &mut tail {
+        a.at = offset + SimDuration::from_picos(a.at.as_picos());
+    }
+    prefix.fork(tail, offset + window)
 }
 
 /// The original single-threaded search: exponential bracket with early
 /// exit, then bisection. Used when only one sweep thread is configured
 /// (it probes strictly fewer points than the speculative variant).
 fn max_throughput_sequential(
+    prefix: &sweep::WarmStart,
     cfg: &MachineConfig,
     services: &[ServiceSpec],
     slo_mult: f64,
     seed: u64,
 ) -> f64 {
     let unloaded = unloaded_p99s(cfg, services, seed);
-    let probe = |rps: f64| meets_slo(&probe_report(cfg, services, rps, seed), &unloaded, slo_mult);
+    let probe = |rps: f64| {
+        meets_slo(
+            &probe_report(prefix, cfg, services, rps, seed),
+            &unloaded,
+            slo_mult,
+        )
+    };
     let mut lo = SEARCH_FLOOR_RPS;
     if !probe(lo) {
         return lo;
@@ -250,6 +342,7 @@ fn bisection_candidates(lo: f64, hi: f64, depth: usize, out: &mut Vec<f64>) {
 /// Phase 2 bisects, evaluating 2^d − 1 speculative midpoints per round,
 /// with d sized to the thread budget.
 fn max_throughput_speculative(
+    prefix: &sweep::WarmStart,
     cfg: &MachineConfig,
     services: &[ServiceSpec],
     slo_mult: f64,
@@ -276,7 +369,7 @@ fn max_throughput_speculative(
         .collect();
     let outs = sweep::map(jobs, |job| match job {
         Job::Unloaded => Out::Unloaded(unloaded_p99s(cfg, services, seed)),
-        Job::Probe(rps) => Out::Report(Box::new(probe_report(cfg, services, rps, seed))),
+        Job::Probe(rps) => Out::Report(Box::new(probe_report(prefix, cfg, services, rps, seed))),
     });
     let mut outs = outs.into_iter();
     let unloaded = match outs.next() {
@@ -317,7 +410,11 @@ fn max_throughput_speculative(
         let mut seen = std::collections::HashSet::new();
         mids.retain(|m| !cache.contains_key(&m.to_bits()) && seen.insert(m.to_bits()));
         let results = sweep::map(mids.clone(), |m| {
-            meets_slo(&probe_report(cfg, services, m, seed), &unloaded, slo_mult)
+            meets_slo(
+                &probe_report(prefix, cfg, services, m, seed),
+                &unloaded,
+                slo_mult,
+            )
         });
         for (m, r) in mids.iter().zip(results) {
             cache.insert(m.to_bits(), r);
@@ -415,8 +512,9 @@ mod tests {
         let mut cfg = machine_config(Policy::AccelFlow, Scale::quick());
         cfg.arch.cores = 2;
         cfg.arch.pes_per_accelerator = 1;
-        let seq = max_throughput_sequential(&cfg, &services, 5.0, 3);
-        let spec = max_throughput_speculative(&cfg, &services, 5.0, 3);
+        let prefix = probe_prefix(&cfg, &services, 3, true);
+        let seq = max_throughput_sequential(&prefix, &cfg, &services, 5.0, 3);
+        let spec = max_throughput_speculative(&prefix, &cfg, &services, 5.0, 3);
         assert_eq!(seq, spec, "speculative search diverged from sequential");
     }
 

@@ -16,10 +16,39 @@
 //! [`max_throughput`](crate::harness::max_throughput) search) run their
 //! inner layer sequentially, so the total thread count stays bounded by
 //! the configured parallelism instead of multiplying per level.
+//!
+//! Two scale levers layer on top of the thread fan-out (both in
+//! `docs/CHECKPOINT.md`):
+//!
+//! - **Process sharding** ([`Shard`], [`map_sharded`]):
+//!   `ACCELFLOW_SHARDS`/`ACCELFLOW_SHARD_INDEX` deterministically
+//!   partition an input grid across independent processes; each shard
+//!   owns a contiguous slice and reports outputs with their original
+//!   grid indices, so concatenating the shards in index order
+//!   reproduces the unsharded sweep byte-for-byte.
+//! - **Prefix warm-start** ([`WarmStart`]): when every grid point
+//!   shares one configuration and one simulated warm-up prefix, the
+//!   prefix is simulated once, snapshotted, and each point forks a
+//!   restored copy and appends only its own tail — byte-identical to
+//!   re-simulating the prefix per point (the snapshot round-trip is
+//!   pinned by the equivalence suite) while paying the prefix cost
+//!   once.
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use accelflow_core::machine::{Ev, MachineConfig, MachineRun};
+use accelflow_core::request::ServiceSpec;
+use accelflow_core::stats::RunReport;
+use accelflow_core::Arrival;
+use accelflow_sim::time::{SimDuration, SimTime};
+
+/// The no-op event observer warm-start forks run under (a fn pointer,
+/// so restore-vs-replay arms share one [`MachineRun`] type).
+type NoObserve = fn(SimTime, &Ev);
+
+fn no_observe(_: SimTime, _: &Ev) {}
 
 thread_local! {
     /// True on sweep worker threads; makes nested sweeps sequential.
@@ -108,24 +137,222 @@ where
         .collect()
 }
 
+// ----- process sharding -----
+
+/// This process's slice of a sharded sweep: `index` of `count`
+/// processes, each owning a contiguous range of the input grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shard {
+    /// Total number of cooperating processes (≥ 1).
+    pub count: usize,
+    /// This process's zero-based shard id (< `count`).
+    pub index: usize,
+}
+
+impl Shard {
+    /// The un-sharded singleton: one process owns the whole grid.
+    pub fn whole() -> Self {
+        Shard { count: 1, index: 0 }
+    }
+
+    /// Reads `ACCELFLOW_SHARDS` (total processes, default 1; values
+    /// below 1 are treated as 1) and `ACCELFLOW_SHARD_INDEX` (this
+    /// process, default 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the index is not below the count — a misconfigured
+    /// launcher must fail loudly, not silently compute nothing.
+    pub fn from_env() -> Self {
+        let count = std::env::var("ACCELFLOW_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
+        let index = std::env::var("ACCELFLOW_SHARD_INDEX")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(0);
+        assert!(
+            index < count,
+            "ACCELFLOW_SHARD_INDEX={index} must be below ACCELFLOW_SHARDS={count}"
+        );
+        Shard { count, index }
+    }
+
+    /// Whether this process owns the entire grid (no sharding).
+    pub fn is_whole(&self) -> bool {
+        self.count == 1
+    }
+
+    /// The contiguous sub-range of `0..n` this shard owns. Balanced:
+    /// sizes differ by at most one, earlier shards take the remainder,
+    /// and the ranges of all shards tile `0..n` exactly in index order.
+    pub fn range(&self, n: usize) -> std::ops::Range<usize> {
+        let base = n / self.count;
+        let rem = n % self.count;
+        let start = self.index * base + self.index.min(rem);
+        let len = base + usize::from(self.index < rem);
+        start..start + len
+    }
+}
+
+/// [`map`] over the slice of `inputs` owned by the [`Shard`] from the
+/// environment, returning `(original grid index, output)` pairs in
+/// input order.
+///
+/// Because shards own contiguous, tiling ranges and each pair carries
+/// its grid index, concatenating every shard's output in shard order
+/// reproduces `map(inputs, f)` with indices attached — byte for byte,
+/// whatever the process count (pinned in the bench determinism suite).
+pub fn map_sharded<I, O, F>(inputs: Vec<I>, f: F) -> Vec<(usize, O)>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let shard = Shard::from_env();
+    let range = shard.range(inputs.len());
+    let owned: Vec<(usize, I)> = inputs
+        .into_iter()
+        .enumerate()
+        .skip(range.start)
+        .take(range.len())
+        .collect();
+    map(owned, |(i, input)| (i, f(input)))
+}
+
+// ----- prefix warm-start -----
+
+/// A shared simulated prefix that a grid of runs forks from.
+///
+/// Build one per (configuration, prefix-workload) pair, then call
+/// [`WarmStart::fork`] once per grid point with that point's arrival
+/// *tail* (everything at or after the prefix horizon). In warm mode
+/// the prefix is simulated once and snapshotted; every fork restores
+/// the snapshot and appends its tail. In cold mode every fork
+/// re-simulates the prefix — same two-phase code path, no snapshot —
+/// which is what makes warm-vs-cold byte-equality a meaningful check
+/// of the snapshot subsystem (and the cold mode the honest baseline
+/// for the warm-start speedup in `docs/BENCHMARKS.md`).
+pub struct WarmStart {
+    cfg: MachineConfig,
+    services: Vec<ServiceSpec>,
+    /// Prefix arrivals, retained for cold-mode replay (empty in warm
+    /// mode — the snapshot already carries their consequences).
+    prefix: Vec<Arrival>,
+    prefix_duration: SimDuration,
+    seed: u64,
+    /// `Some` in warm mode: the serialized machine at the prefix
+    /// horizon.
+    snapshot: Option<Vec<u8>>,
+}
+
+impl WarmStart {
+    /// Prepares a shared prefix. With `warm` set the prefix is
+    /// simulated immediately (once) and held as a snapshot; otherwise
+    /// the arrivals are held and re-simulated by every fork.
+    pub fn new(
+        cfg: MachineConfig,
+        services: Vec<ServiceSpec>,
+        prefix: Vec<Arrival>,
+        prefix_duration: SimDuration,
+        seed: u64,
+        warm: bool,
+    ) -> Self {
+        let (prefix, snapshot) = if warm {
+            let mut run = MachineRun::start(
+                &cfg,
+                &services,
+                prefix,
+                prefix_duration,
+                seed,
+                no_observe as NoObserve,
+            );
+            run.run_to(SimTime::ZERO + prefix_duration);
+            (Vec::new(), Some(run.snapshot()))
+        } else {
+            (prefix, None)
+        };
+        WarmStart {
+            cfg,
+            services,
+            prefix,
+            prefix_duration,
+            seed,
+            snapshot,
+        }
+    }
+
+    /// Whether forks restore a snapshot (true) or replay the prefix.
+    pub fn is_warm(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// The prefix horizon: tails must start at or after this instant.
+    pub fn prefix_end(&self) -> SimTime {
+        SimTime::ZERO + self.prefix_duration
+    }
+
+    /// Runs one grid point: prefix (restored or replayed), then `tail`
+    /// appended with the horizon extended to `end`, through the drain.
+    pub fn fork(&self, tail: Vec<Arrival>, end: SimTime) -> RunReport {
+        let mut run: MachineRun<NoObserve> = match &self.snapshot {
+            Some(bytes) => {
+                MachineRun::restore(&self.cfg, &self.services, bytes, no_observe as NoObserve)
+                    .expect("a WarmStart snapshot always matches its own config")
+            }
+            None => {
+                let mut run = MachineRun::start(
+                    &self.cfg,
+                    &self.services,
+                    self.prefix.clone(),
+                    self.prefix_duration,
+                    self.seed,
+                    no_observe as NoObserve,
+                );
+                run.run_to(self.prefix_end());
+                run
+            }
+        };
+        run.append_arrivals(tail, end);
+        run.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
 
-    /// Helper: run `body` with `ACCELFLOW_THREADS` pinned, restoring
-    /// the prior value afterwards. Serialized via a lock because env
-    /// vars are process-global.
-    fn with_threads(n: &str, body: impl FnOnce()) {
-        static ENV_LOCK: Mutex<()> = Mutex::new(());
+    /// Env vars are process-global: every test that pins one serializes
+    /// through this lock.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    /// Helper: run `body` with the given env vars pinned, restoring the
+    /// prior values afterwards.
+    fn with_env(vars: &[(&str, &str)], body: impl FnOnce()) {
         let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
-        let prev = std::env::var("ACCELFLOW_THREADS").ok();
-        std::env::set_var("ACCELFLOW_THREADS", n);
+        let prev: Vec<(&str, Option<String>)> = vars
+            .iter()
+            .map(|(k, v)| {
+                let old = std::env::var(k).ok();
+                std::env::set_var(k, v);
+                (*k, old)
+            })
+            .collect();
         body();
-        match prev {
-            Some(v) => std::env::set_var("ACCELFLOW_THREADS", v),
-            None => std::env::remove_var("ACCELFLOW_THREADS"),
+        for (k, old) in prev {
+            match old {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
         }
+    }
+
+    /// Helper: run `body` with `ACCELFLOW_THREADS` pinned.
+    fn with_threads(n: &str, body: impl FnOnce()) {
+        with_env(&[("ACCELFLOW_THREADS", n)], body);
     }
 
     #[test]
@@ -221,5 +448,62 @@ mod tests {
         with_threads("0", || assert_eq!(parallelism(), 1));
         with_threads("garbage", || assert_eq!(parallelism(), 1));
         with_threads("3", || assert_eq!(parallelism(), 3));
+    }
+
+    #[test]
+    fn shard_ranges_tile_every_grid() {
+        for n in [0usize, 1, 5, 7, 31, 32] {
+            for count in [1usize, 2, 3, 5, 8, 40] {
+                let mut covered = Vec::new();
+                let mut sizes = Vec::new();
+                for index in 0..count {
+                    let r = Shard { count, index }.range(n);
+                    sizes.push(r.len());
+                    covered.extend(r);
+                }
+                // Contiguous tiling of 0..n in shard order, balanced to
+                // within one item.
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} count={count}");
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "n={n} count={count} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_env_defaults_and_validates() {
+        with_env(&[("ACCELFLOW_SHARDS", "3"), ("ACCELFLOW_SHARD_INDEX", "2")], || {
+            assert_eq!(Shard::from_env(), Shard { count: 3, index: 2 });
+        });
+        with_env(&[("ACCELFLOW_SHARDS", "0"), ("ACCELFLOW_SHARD_INDEX", "0")], || {
+            assert!(Shard::from_env().is_whole(), "count clamps up to 1");
+        });
+    }
+
+    #[test]
+    fn out_of_range_shard_index_is_rejected() {
+        // catch_unwind instead of should_panic so with_env still
+        // restores the process-global vars afterwards.
+        with_env(&[("ACCELFLOW_SHARDS", "2"), ("ACCELFLOW_SHARD_INDEX", "2")], || {
+            assert!(std::panic::catch_unwind(Shard::from_env).is_err());
+        });
+    }
+
+    #[test]
+    fn sharded_map_concatenates_to_the_whole() {
+        let inputs: Vec<u64> = (0..17).collect();
+        let whole: Vec<(usize, u64)> = inputs.iter().enumerate().map(|(i, x)| (i, x * 3)).collect();
+        let mut merged = Vec::new();
+        for index in 0..4 {
+            with_env(
+                &[
+                    ("ACCELFLOW_SHARDS", "4"),
+                    ("ACCELFLOW_SHARD_INDEX", &index.to_string()),
+                    ("ACCELFLOW_THREADS", "2"),
+                ],
+                || merged.extend(map_sharded(inputs.clone(), |x| x * 3)),
+            );
+        }
+        assert_eq!(merged, whole);
     }
 }

@@ -237,6 +237,58 @@ fn openloop_sweeps_are_thread_count_invariant() {
 }
 
 #[test]
+fn sharded_sweep_is_byte_identical_to_unsharded() {
+    // Process sharding (`docs/CHECKPOINT.md`): each shard runs a
+    // contiguous slice of the grid, and concatenating the shards'
+    // results in shard order must reproduce the unsharded sweep byte
+    // for byte — same original indices, same rendered reports.
+    let whole: Vec<(usize, String)> = sweep::map_sharded(cells(), |(p, s)| run_cell(p, s))
+        .into_iter()
+        .map(|(i, r)| (i, format!("{r:?}")))
+        .collect();
+    assert_eq!(whole.len(), cells().len());
+
+    let mut stitched: Vec<(usize, String)> = Vec::new();
+    std::env::set_var("ACCELFLOW_SHARDS", "3");
+    for index in 0..3 {
+        std::env::set_var("ACCELFLOW_SHARD_INDEX", index.to_string());
+        stitched.extend(
+            sweep::map_sharded(cells(), |(p, s)| run_cell(p, s))
+                .into_iter()
+                .map(|(i, r)| (i, format!("{r:?}"))),
+        );
+    }
+    std::env::remove_var("ACCELFLOW_SHARDS");
+    std::env::remove_var("ACCELFLOW_SHARD_INDEX");
+
+    assert_eq!(
+        whole, stitched,
+        "three concatenated shards diverged from the unsharded sweep"
+    );
+}
+
+#[test]
+fn warm_started_search_matches_cold() {
+    // The throughput search's shared-prefix warm start (fork N restored
+    // snapshot copies) must land on exactly the probes — and the exact
+    // result — of the cold mode that re-simulates the prefix per probe.
+    let services = vec![socialnetwork::uniq_id()];
+    let mk = || {
+        let mut cfg = harness::machine_config(Policy::AccelFlow, Scale::quick());
+        cfg.arch.cores = 2;
+        cfg.arch.pes_per_accelerator = 1;
+        cfg
+    };
+    let warm = harness::max_throughput_with_mode(&mk(), &services, 5.0, 3, true);
+    let cold = harness::max_throughput_with_mode(&mk(), &services, 5.0, 3, false);
+    assert_eq!(
+        warm, cold,
+        "warm-started search diverged from the cold baseline"
+    );
+    assert!(warm > 0.0, "search found no sustainable load");
+}
+
+#[test]
 fn throughput_search_is_thread_count_invariant() {
     // The speculative parallel search must return the sequential
     // result for a small machine regardless of worker count.

@@ -556,6 +556,112 @@ impl Auditor {
     }
 }
 
+// ----- checkpoint serialization (see docs/CHECKPOINT.md) -----
+
+use accelflow_sim::snapshot::{SnapReader, SnapWriter, Snapshot, SnapshotError};
+
+/// Every invariant identifier the auditor can record, in wire-tag
+/// order. `Violation.invariant` is a `&'static str`, which cannot
+/// round-trip through bytes directly, so snapshots intern it as an
+/// index into this table; appending new invariants is wire-compatible,
+/// reordering is not.
+const INVARIANTS: [&str; 18] = [
+    "time-monotonic",
+    "queue-bound",
+    "overflow-bound",
+    "overflow-implies-full",
+    "counter-monotonic",
+    "energy-monotonic",
+    "admit-once",
+    "terminate-once",
+    "call-finished-once",
+    "dark-station-start",
+    "retry-bounded",
+    "recovery-drained",
+    "request-conservation",
+    "offered-row-sum",
+    "completed-row-sum",
+    "tenant-slot-leak",
+    "call-conservation",
+    "atm-chain-termination",
+];
+
+impl Snapshot for Violation {
+    fn save(&self, w: &mut SnapWriter) {
+        let tag = INVARIANTS
+            .iter()
+            .position(|&name| name == self.invariant)
+            .expect("every recordable invariant is interned") as u8;
+        w.u8(tag);
+        self.at.save(w);
+        self.detail.save(w);
+    }
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        let tag = r.u8()? as usize;
+        let invariant = *INVARIANTS.get(tag).ok_or_else(|| {
+            SnapshotError::Corrupt(format!("unknown invariant tag {tag}"))
+        })?;
+        Ok(Violation {
+            invariant,
+            at: SimTime::load(r)?,
+            detail: String::load(r)?,
+        })
+    }
+}
+
+impl Snapshot for Auditor {
+    fn save(&self, w: &mut SnapWriter) {
+        w.u64(self.checks);
+        w.u64(self.violation_count);
+        self.violations.save(w);
+        w.u64(self.admitted);
+        w.u64(self.terminated);
+        w.u64(self.measured_admitted);
+        w.u64(self.measured_terminated);
+        self.terminated_flags.save(w);
+        w.u64(self.calls_started);
+        w.u64(self.calls_ended);
+        self.finished_calls.save(w);
+        self.last_event_time.save(w);
+        self.last_core_busy.save(w);
+        self.last_accel_busy.save(w);
+        w.u64(self.last_activity_events);
+        w.u64(self.last_dma_bytes);
+        w.u64(self.last_atm_reads);
+        self.last_overflows.save(w);
+        self.last_rejections.save(w);
+        self.dark_until.save(w);
+    }
+    /// Restores the mid-run bookkeeping directly — the constructor's
+    /// one-time ATM chain check is *not* re-run, because its checks and
+    /// any violations it found are already part of the serialized
+    /// counters.
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(Auditor {
+            checks: r.u64()?,
+            violation_count: r.u64()?,
+            violations: Vec::load(r)?,
+            admitted: r.u64()?,
+            terminated: r.u64()?,
+            measured_admitted: r.u64()?,
+            measured_terminated: r.u64()?,
+            terminated_flags: Vec::load(r)?,
+            calls_started: r.u64()?,
+            calls_ended: r.u64()?,
+            finished_calls: Vec::load(r)?,
+            last_event_time: SimTime::load(r)?,
+            last_core_busy: SimDuration::load(r)?,
+            last_accel_busy: SimDuration::load(r)?,
+            last_activity_events: r.u64()?,
+            last_dma_bytes: r.u64()?,
+            last_atm_reads: r.u64()?,
+            last_overflows: Vec::load(r)?,
+            last_rejections: Vec::load(r)?,
+            dark_until: Vec::load(r)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -58,12 +58,14 @@
 
 mod balancer;
 mod report;
+mod snapshot;
 
 pub use balancer::{balancer_for, Balancer, BalancerKind, PlacementView};
 pub use report::{ClusterReport, HealthReport};
+pub use snapshot::{ClusterRun, CLUSTER_SNAPSHOT_MAGIC};
 
 use accelflow_accel::timing::ServiceTimeModel;
-use accelflow_sim::engine::{EventQueue, Model, Simulation};
+use accelflow_sim::engine::{EventQueue, Model};
 use accelflow_sim::rng::SimRng;
 use accelflow_sim::time::{SimDuration, SimTime};
 use accelflow_trace::templates::TraceLibrary;
@@ -366,6 +368,9 @@ impl Cluster {
     /// way [`Machine::run_arrivals_observed`] anchors the golden
     /// snapshots.
     ///
+    /// One-shot wrapper over [`ClusterRun`]; hold the run open instead
+    /// when you need mid-run checkpoints.
+    ///
     /// # Panics
     ///
     /// Panics when `cfg.nodes` is zero or `cfg.weights` is non-empty
@@ -378,110 +383,7 @@ impl Cluster {
         seed: u64,
         observe: impl FnMut(SimTime, u16, &Ev),
     ) -> ClusterReport {
-        assert!(cfg.nodes >= 1, "a cluster needs at least one node");
-        assert!(
-            cfg.nodes <= u16::MAX as usize,
-            "node ids are u16: at most {} nodes",
-            u16::MAX
-        );
-        let weights = if cfg.weights.is_empty() {
-            vec![1.0; cfg.nodes]
-        } else {
-            assert_eq!(
-                cfg.weights.len(),
-                cfg.nodes,
-                "weights must match the node count"
-            );
-            cfg.weights.clone()
-        };
-
-        let names: Vec<String> = services.iter().map(|s| s.name.clone()).collect();
-        let end = SimTime::ZERO + duration;
-        let nodes: Vec<NodeSlot> = (0..cfg.nodes)
-            .map(|i| NodeSlot {
-                // Per-node seeds are consecutive so node 0 of a
-                // one-node cluster draws the exact streams a bare
-                // machine at `seed` would.
-                machine: Machine::new(
-                    cfg.node.clone(),
-                    names.clone(),
-                    Vec::new(),
-                    end,
-                    seed.wrapping_add(i as u64),
-                ),
-                scratch: EventQueue::with_capacity(256),
-                suspended: false,
-            })
-            .collect();
-
-        let mut pending = arrivals;
-        pending.reverse();
-        let model = ClusterModel {
-            nodes,
-            link: cfg.link,
-            balancer: balancer_for(cfg.balancer),
-            weights,
-            rr_cursor: 0,
-            rng: SimRng::seed(seed ^ DISPATCH_RNG_SALT),
-            pending,
-            keepalive: cfg.keepalive,
-            suspend_dark_stations: cfg.suspend_dark_stations,
-            health: HealthReport {
-                dispatched: vec![0; cfg.nodes],
-                ..HealthReport::default()
-            },
-            live_scratch: Vec::with_capacity(cfg.nodes),
-            observe,
-        };
-        let mut sim = Simulation::new(model);
-
-        // Seeding order mirrors a bare machine run: the first arrival,
-        // then each node's fault-stream and autoscaler arming, then
-        // (cluster-only) the first keep-alive tick.
-        if let Some((at, target, local)) = sim.model_mut().dispatch_next(SimTime::ZERO) {
-            sim.queue_mut()
-                .schedule_at(at, CEv::Node(target, Ev::Arrive(local)));
-        }
-        for i in 0..cfg.nodes {
-            let armed = sim.model_mut().nodes[i].machine.arm_initial_faults();
-            for (at, class) in armed {
-                sim.queue_mut()
-                    .schedule_at(at, CEv::Node(i as u16, Ev::FaultInject(class)));
-            }
-            if let Some(at) = sim.model().nodes[i].machine.arm_autoscaler() {
-                sim.queue_mut()
-                    .schedule_at(at, CEv::Node(i as u16, Ev::ScaleTick));
-            }
-        }
-        if let Some(tick) = cfg.keepalive {
-            sim.queue_mut()
-                .schedule_at(SimTime::ZERO + tick, CEv::KeepAlive);
-        }
-
-        // Same drain window as a bare machine run.
-        let drain = end + SimDuration::from_millis(30);
-        sim.run_until(drain);
-        let now = sim.now();
-        let events = sim.queue_mut().delivered();
-        let clamped = sim.queue_mut().clamped();
-        let model = sim.into_model();
-        let health = model.health;
-        let per_node = model
-            .nodes
-            .into_iter()
-            .map(|slot| {
-                let node_clamped = slot.scratch.clamped();
-                let mut report = slot.machine.into_run_report(now, end);
-                report.totals.clamped_events = node_clamped;
-                report
-            })
-            .collect();
-        ClusterReport {
-            per_node,
-            health,
-            events,
-            clamped,
-        }
+        ClusterRun::start(cfg, services, arrivals, duration, seed, observe).finish()
     }
 }
 

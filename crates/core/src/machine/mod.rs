@@ -40,6 +40,7 @@
 //! | `resilience` | fault injection and recovery (retry/backoff, sibling re-dispatch, CPU degrade) |
 //! | `scaling` | ingress control (rate limit / admission) and the telemetry-feedback autoscaler |
 //! | `accounting` | latency breakdowns, stats/energy emission, telemetry, audit hooks, reports |
+//! | `snapshot` | versioned checkpoint/restore and the resumable [`MachineRun`] handle |
 //! | [`orchestrator`] | the [`Orchestrator`] trait and its ten per-policy implementations |
 
 mod accounting;
@@ -51,11 +52,13 @@ mod lifecycle;
 pub mod orchestrator;
 mod resilience;
 mod scaling;
+mod snapshot;
 #[cfg(test)]
 mod tests;
 mod transfer;
 
 pub use orchestrator::{orchestrator_for, HopInfo, Orchestrator, TransferMode};
+pub use snapshot::{MachineRun, SNAPSHOT_MAGIC};
 
 use std::collections::VecDeque;
 
@@ -67,7 +70,7 @@ use accelflow_arch::dma::DmaPool;
 use accelflow_arch::energy::{EnergyMeter, EnergyModel};
 use accelflow_arch::interconnect::Interconnect;
 use accelflow_arch::topology::{ChipletLayout, Endpoint, UnitId};
-use accelflow_sim::engine::{EventQueue, Model, Simulation};
+use accelflow_sim::engine::{EventQueue, Model};
 use accelflow_sim::resource::ServerPool;
 use accelflow_sim::rng::SimRng;
 use accelflow_sim::slab::{Slab, SlotId};
@@ -486,6 +489,9 @@ impl Machine {
     /// the run, which makes this the anchor for the golden
     /// event-sequence snapshot tests (hash the observed stream, assert
     /// it never drifts across refactors).
+    ///
+    /// One-shot wrapper over [`MachineRun`]; hold the run open instead
+    /// when you need mid-run checkpoints or appended arrivals.
     pub fn run_arrivals_observed(
         cfg: &MachineConfig,
         services: &[ServiceSpec],
@@ -494,52 +500,7 @@ impl Machine {
         seed: u64,
         observe: impl FnMut(SimTime, &Ev),
     ) -> RunReport {
-        /// Transparent [`Model`] shim that reports each event before
-        /// forwarding it to the machine.
-        struct Observed<F> {
-            machine: Machine,
-            observe: F,
-        }
-        impl<F: FnMut(SimTime, &Ev)> Model for Observed<F> {
-            type Event = Ev;
-            fn handle(&mut self, now: SimTime, event: Ev, queue: &mut EventQueue<Ev>) {
-                (self.observe)(now, &event);
-                self.machine.handle(now, event, queue);
-            }
-        }
-
-        let names = services.iter().map(|s| s.name.clone()).collect();
-        let end = SimTime::ZERO + duration;
-        let machine = Machine::new(cfg.clone(), names, arrivals, end, seed);
-        let mut sim = Simulation::new(Observed { machine, observe });
-        // Pre-reserve the event heap for the steady-state population:
-        // each in-flight request contributes a handful of pending
-        // events, bounded by the arrival backlog. Keeps the hot
-        // schedule path allocation-free.
-        let backlog = sim.model().machine.ctx.arrivals.len().clamp(256, 16_384);
-        sim.queue_mut().reserve(backlog);
-        if let Some(first) = sim.model().machine.ctx.arrivals.last() {
-            let at = first.at;
-            sim.queue_mut().schedule_at(at, Ev::Arrive(0));
-        }
-        // Arm each enabled fault class's Poisson stream (no-op, and no
-        // RNG draws, when fault injection is disabled).
-        let initial_faults = sim.model_mut().machine.ctx.draw_initial_faults();
-        for (at, class) in initial_faults {
-            sim.queue_mut().schedule_at(at, Ev::FaultInject(class));
-        }
-        // Arm the autoscaler's tick chain (no-op without an autoscaler).
-        if let Some(at) = sim.model().machine.ctx.first_scale_tick() {
-            sim.queue_mut().schedule_at(at, Ev::ScaleTick);
-        }
-        // Generous drain: stragglers get 30 ms past the arrival window.
-        let drain = end + SimDuration::from_millis(30);
-        sim.run_until(drain);
-        let now = sim.now();
-        let clamped = sim.queue_mut().clamped();
-        let mut report = sim.into_model().machine.ctx.into_report(now, end);
-        report.totals.clamped_events = clamped;
-        report
+        MachineRun::start(cfg, services, arrivals, duration, seed, observe).finish()
     }
 }
 

@@ -2,6 +2,7 @@
 //! instance scaling, addressing, and accounting invariants.
 
 use super::*;
+use accelflow_sim::engine::Simulation;
 
 mod runs {
     use super::*;

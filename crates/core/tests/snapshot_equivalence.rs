@@ -1,0 +1,355 @@
+//! Checkpoint/restore equivalence: a run snapshotted mid-flight and
+//! resumed in a fresh process image must be byte-identical to the run
+//! that never stopped.
+//!
+//! Each case runs a fixed workload twice: once straight through
+//! ([`MachineRun::start`] → `finish`), and once split at an instant T
+//! ([`MachineRun::start`] → `run_to(T)` → `snapshot` → drop →
+//! [`MachineRun::restore`] → `finish`). Both runs fold every delivered
+//! `(time, event)` pair into one FNV-1a hash — the split run's
+//! observer continues the accumulator the prefix left off — and the
+//! final [`RunReport`]s are compared by their full `Debug` rendering.
+//! Faults and online control are ON in every machine case, so the
+//! fault-injector RNG, stall bookkeeping, token bucket, SLO windows,
+//! and autoscaler tick chain all cross the snapshot boundary.
+//!
+//! The rejection half exercises the format guards: truncation,
+//! corrupted magic, a bumped schema version, a mismatched
+//! configuration, and trailing garbage must each fail with the
+//! matching [`SnapshotError`] variant instead of producing a machine.
+
+use accelflow_accel::timing::ServiceTimeModel;
+use accelflow_arch::config::ArchConfig;
+use accelflow_core::cluster::{Cluster, ClusterConfig, ClusterRun};
+use accelflow_core::control::{AutoscalerConfig, RateLimit, SloTarget};
+use accelflow_core::machine::{Ev, MachineRun};
+use accelflow_core::policy::Policy;
+use accelflow_core::request::{CallSpec, CyclesDist, ServiceSpec, StageSpec};
+use accelflow_core::{poisson_arrivals, Arrival, FaultConfig};
+use accelflow_sim::snapshot::SnapshotError;
+use accelflow_sim::time::{SimDuration, SimTime};
+use accelflow_trace::templates::{TemplateId, TraceLibrary};
+
+/// FNV-1a over the bytes of one rendered event line.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Two services that together reach every event variant: calls, CPU
+/// stages, parallel fan-out, and chained segments.
+fn services() -> Vec<ServiceSpec> {
+    vec![
+        ServiceSpec::new(
+            "Simple",
+            vec![
+                StageSpec::Call(CallSpec::new(TemplateId::T1)),
+                StageSpec::Cpu(CyclesDist::new(40_000.0, 0.2)),
+                StageSpec::Call(CallSpec::new(TemplateId::T2)),
+            ],
+        ),
+        ServiceSpec::new(
+            "WithDb",
+            vec![
+                StageSpec::Call(CallSpec::new(TemplateId::T1)),
+                StageSpec::Cpu(CyclesDist::new(30_000.0, 0.2)),
+                StageSpec::Call(CallSpec::new(TemplateId::T4)),
+                StageSpec::Parallel(vec![CallSpec::new(TemplateId::T9); 2]),
+                StageSpec::Call(CallSpec::new(TemplateId::T2)),
+            ],
+        ),
+    ]
+}
+
+fn arrivals(rps: f64, duration: SimDuration, seed: u64) -> Vec<Arrival> {
+    let lib = TraceLibrary::standard();
+    let timing = ServiceTimeModel::calibrated(ArchConfig::icelake().core_clock);
+    poisson_arrivals(&services(), &lib, &timing, rps, duration, seed)
+}
+
+/// A machine with everything the snapshot must carry switched ON:
+/// fault injection, a binding rate limit, SLO windows, a live-request
+/// ceiling, and the reactive autoscaler's tick chain.
+fn full_config(policy: Policy) -> accelflow_core::machine::MachineConfig {
+    let mut cfg = accelflow_core::machine::MachineConfig::new(policy);
+    cfg.warmup = SimDuration::from_millis(2);
+    cfg.arch.pes_per_accelerator = 2;
+    cfg.speedup_scale = 0.25;
+    cfg.audit = false;
+    cfg.telemetry = false;
+    cfg.faults = FaultConfig::uniform(10.0);
+    cfg.control.autoscaler = Some(AutoscalerConfig::reactive());
+    cfg.control.rate_limit = Some(RateLimit {
+        tokens_per_sec: 4_000.0,
+        burst: 32.0,
+    });
+    cfg.control.max_live = Some(256);
+    cfg.control.slo = Some(SloTarget {
+        window: SimDuration::from_millis(1),
+        p99_target: SimDuration::from_micros(500),
+    });
+    cfg
+}
+
+const DURATION: SimDuration = SimDuration::from_millis(12);
+const RPS: f64 = 4_000.0;
+const SEED: u64 = 23;
+
+/// Straight run: hash every event, return `(hash, Debug(report))`.
+fn straight(policy: Policy) -> (u64, String) {
+    let cfg = full_config(policy);
+    let services = services();
+    let mut hash = FNV_OFFSET;
+    let report = MachineRun::start(
+        &cfg,
+        &services,
+        arrivals(RPS, DURATION, SEED),
+        DURATION,
+        SEED,
+        |now, ev: &Ev| fnv1a(&mut hash, format!("{now:?}|{ev:?}\n").as_bytes()),
+    )
+    .finish();
+    assert!(report.offered() > 0, "workload produced no load");
+    (hash, format!("{report:?}"))
+}
+
+/// Split run: run to `t`, snapshot, drop the run, restore from bytes,
+/// finish. The restored observer continues the prefix's accumulator.
+fn split_at(policy: Policy, t: SimTime) -> (u64, String) {
+    let cfg = full_config(policy);
+    let services = services();
+    let mut hash = FNV_OFFSET;
+    let bytes = {
+        let mut run = MachineRun::start(
+            &cfg,
+            &services,
+            arrivals(RPS, DURATION, SEED),
+            DURATION,
+            SEED,
+            |now, ev: &Ev| fnv1a(&mut hash, format!("{now:?}|{ev:?}\n").as_bytes()),
+        );
+        run.run_to(t);
+        run.snapshot()
+    };
+    let report = MachineRun::restore(&cfg, &services, &bytes, |now, ev: &Ev| {
+        fnv1a(&mut hash, format!("{now:?}|{ev:?}\n").as_bytes())
+    })
+    .expect("snapshot of a live run must restore")
+    .finish();
+    (hash, format!("{report:?}"))
+}
+
+#[test]
+fn restored_runs_are_byte_identical_across_policies() {
+    // One policy per orchestration family, faults + control on in all
+    // of them. The split point sits mid-measurement so live requests,
+    // in-flight accelerator work, armed faults, and pending control
+    // ticks all cross the boundary.
+    let t = SimTime::ZERO + SimDuration::from_millis(6);
+    for policy in [
+        Policy::NonAcc,
+        Policy::CpuCentric,
+        Policy::Relief,
+        Policy::AccelFlow,
+        Policy::Cohort,
+    ] {
+        let (sh, sr) = straight(policy);
+        let (rh, rr) = split_at(policy, t);
+        assert_eq!(sh, rh, "{policy}: event stream diverged after restore");
+        assert_eq!(sr, rr, "{policy}: final report diverged after restore");
+    }
+}
+
+#[test]
+fn split_point_does_not_matter() {
+    // Snapshotting during warmup, mid-run, and inside the drain window
+    // all resume to the same bytes.
+    let (sh, sr) = straight(Policy::AccelFlow);
+    for millis in [1, 9, 13] {
+        let t = SimTime::ZERO + SimDuration::from_millis(millis);
+        let (rh, rr) = split_at(Policy::AccelFlow, t);
+        assert_eq!(sh, rh, "split at {millis}ms diverged");
+        assert_eq!(sr, rr, "split at {millis}ms: report diverged");
+    }
+}
+
+#[test]
+fn snapshot_does_not_disturb_the_running_machine() {
+    // snapshot() is a read — the run it was taken from must keep going
+    // and finish exactly like a run that was never snapshotted.
+    let cfg = full_config(Policy::AccelFlow);
+    let services = services();
+    let mut hash = FNV_OFFSET;
+    let mut run = MachineRun::start(
+        &cfg,
+        &services,
+        arrivals(RPS, DURATION, SEED),
+        DURATION,
+        SEED,
+        |now, ev: &Ev| fnv1a(&mut hash, format!("{now:?}|{ev:?}\n").as_bytes()),
+    );
+    run.run_to(SimTime::ZERO + SimDuration::from_millis(6));
+    let _bytes = run.snapshot();
+    let report = run.finish();
+    let (sh, sr) = straight(Policy::AccelFlow);
+    assert_eq!(hash, sh, "taking a snapshot perturbed the event stream");
+    assert_eq!(format!("{report:?}"), sr);
+}
+
+#[test]
+fn cluster_restore_is_byte_identical() {
+    // Four nodes behind the dispatcher, faults + control on per node:
+    // the nested per-node snapshots, dispatcher RNG, round-robin
+    // cursor, backlog, and outer queue all cross the boundary.
+    let cfg = ClusterConfig::new(4, full_config(Policy::AccelFlow));
+    let services = services();
+    let work = arrivals(4.0 * RPS, DURATION, SEED);
+
+    let mut straight_hash = FNV_OFFSET;
+    let straight_report = Cluster::run_arrivals_observed(
+        &cfg,
+        &services,
+        work.clone(),
+        DURATION,
+        SEED,
+        |now, node, ev| {
+            fnv1a(
+                &mut straight_hash,
+                format!("{now:?}|{node}|{ev:?}\n").as_bytes(),
+            );
+        },
+    );
+    assert!(straight_report.offered() > 0, "cluster saw no load");
+
+    let mut hash = FNV_OFFSET;
+    let bytes = {
+        let mut run = ClusterRun::start(&cfg, &services, work, DURATION, SEED, |now, node, ev| {
+            fnv1a(&mut hash, format!("{now:?}|{node}|{ev:?}\n").as_bytes());
+        });
+        run.run_to(SimTime::ZERO + SimDuration::from_millis(6));
+        run.snapshot()
+    };
+    let report = ClusterRun::restore(&cfg, &services, &bytes, |now, node, ev| {
+        fnv1a(&mut hash, format!("{now:?}|{node}|{ev:?}\n").as_bytes());
+    })
+    .expect("cluster snapshot must restore")
+    .finish();
+
+    assert_eq!(straight_hash, hash, "cluster event stream diverged");
+    assert_eq!(
+        format!("{straight_report:?}"),
+        format!("{report:?}"),
+        "cluster report diverged"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Rejection: the guards in the header and the trailing-byte check.
+// ---------------------------------------------------------------------
+
+/// A small, fast snapshot to mutate in the rejection tests.
+fn sample_snapshot() -> (accelflow_core::machine::MachineConfig, Vec<u8>) {
+    let cfg = full_config(Policy::AccelFlow);
+    let mut run = MachineRun::start(
+        &cfg,
+        &services(),
+        arrivals(RPS, SimDuration::from_millis(4), SEED),
+        SimDuration::from_millis(4),
+        SEED,
+        |_, _: &Ev| {},
+    );
+    run.run_to(SimTime::ZERO + SimDuration::from_millis(2));
+    let bytes = run.snapshot();
+    (cfg, bytes)
+}
+
+#[test]
+fn corrupted_magic_is_rejected() {
+    let (cfg, mut bytes) = sample_snapshot();
+    bytes[0] ^= 0xFF;
+    match MachineRun::restore(&cfg, &services(), &bytes, |_, _: &Ev| {}) {
+        Err(SnapshotError::BadMagic { .. }) => {}
+        other => panic!("expected BadMagic, got {:?}", other.err()),
+    }
+}
+
+#[test]
+fn future_schema_version_is_rejected() {
+    let (cfg, mut bytes) = sample_snapshot();
+    // Header layout: 4 magic bytes, then the u32 schema version (LE).
+    bytes[4..8].copy_from_slice(&999u32.to_le_bytes());
+    match MachineRun::restore(&cfg, &services(), &bytes, |_, _: &Ev| {}) {
+        Err(SnapshotError::SchemaVersion { found: 999, .. }) => {}
+        other => panic!("expected SchemaVersion, got {:?}", other.err()),
+    }
+}
+
+#[test]
+fn different_config_is_rejected() {
+    let (_, bytes) = sample_snapshot();
+    let other_cfg = full_config(Policy::Relief);
+    match MachineRun::restore(&other_cfg, &services(), &bytes, |_, _: &Ev| {}) {
+        Err(SnapshotError::ConfigHash { .. }) => {}
+        other => panic!("expected ConfigHash, got {:?}", other.err()),
+    }
+}
+
+#[test]
+fn different_service_names_are_rejected() {
+    let (cfg, bytes) = sample_snapshot();
+    let mut renamed = services();
+    renamed[0].name = "Renamed".to_string();
+    match MachineRun::restore(&cfg, &renamed, &bytes, |_, _: &Ev| {}) {
+        Err(SnapshotError::ConfigHash { .. }) => {}
+        other => panic!("expected ConfigHash, got {:?}", other.err()),
+    }
+}
+
+#[test]
+fn truncation_is_rejected_at_every_length() {
+    // Cutting the buffer anywhere must produce a structured error (EOF
+    // or a corruption report), never a machine and never a panic. A
+    // stride keeps the loop fast; the header region is covered densely.
+    let (cfg, bytes) = sample_snapshot();
+    let mut cuts: Vec<usize> = (0..bytes.len().min(64)).collect();
+    cuts.extend((64..bytes.len()).step_by(101));
+    for cut in cuts {
+        match MachineRun::restore(&cfg, &services(), &bytes[..cut], |_, _: &Ev| {}) {
+            Err(
+                SnapshotError::UnexpectedEof { .. }
+                | SnapshotError::Corrupt(_)
+                | SnapshotError::BadMagic { .. },
+            ) => {}
+            Err(other) => panic!("cut at {cut}: unexpected error {other:?}"),
+            Ok(_) => panic!("cut at {cut}: truncated snapshot restored"),
+        }
+    }
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let (cfg, mut bytes) = sample_snapshot();
+    bytes.push(0xAB);
+    match MachineRun::restore(&cfg, &services(), &bytes, |_, _: &Ev| {}) {
+        Err(SnapshotError::Corrupt(msg)) => {
+            assert!(msg.contains("trailing"), "unexpected message: {msg}")
+        }
+        other => panic!("expected Corrupt, got {:?}", other.err()),
+    }
+}
+
+#[test]
+fn machine_snapshot_is_not_a_cluster_snapshot() {
+    // The two magics are distinct, so feeding one kind to the other
+    // restorer fails on the first four bytes.
+    let (cfg, bytes) = sample_snapshot();
+    let cluster = ClusterConfig::new(2, cfg);
+    match ClusterRun::restore(&cluster, &services(), &bytes, |_, _, _| {}) {
+        Err(SnapshotError::BadMagic { .. }) => {}
+        other => panic!("expected BadMagic, got {:?}", other.err()),
+    }
+}

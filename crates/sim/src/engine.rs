@@ -254,6 +254,70 @@ impl<E> EventQueue<E> {
     }
 }
 
+impl<E: crate::snapshot::Snapshot> EventQueue<E> {
+    /// Serializes the queue — clock, counters, and every pending event
+    /// in delivery order — without disturbing it.
+    ///
+    /// Internally the pending set is drained (the only way to observe
+    /// delivery order) and re-scheduled back in that same order; the
+    /// re-scheduled events receive fresh insertion sequences, which
+    /// preserves their relative order exactly, so a queue that has been
+    /// saved delivers the same event stream as one that never was.
+    pub fn save_snapshot(&mut self, w: &mut crate::snapshot::SnapWriter) {
+        use crate::snapshot::Snapshot;
+        self.now.save(w);
+        w.u64(self.delivered);
+        w.u64(self.clamped);
+        let mut pending = Vec::with_capacity(self.len());
+        self.drain_pending(|at, ev| pending.push((at, ev)));
+        w.usize(pending.len());
+        for (at, ev) in &pending {
+            at.save(w);
+            ev.save(w);
+        }
+        for (at, ev) in pending {
+            self.schedule_at(at, ev);
+        }
+    }
+
+    /// Rebuilds a queue from [`EventQueue::save_snapshot`] bytes.
+    ///
+    /// Order of operations matters: the clock is set and the calendar
+    /// re-anchored on it *before* any event is scheduled, so restored
+    /// events at exactly the snapshot instant take the same-instant
+    /// staging lane — the same anchor hazard `CalendarQueue::reanchor`
+    /// exists for (see [`EventQueue::drain_pending`]). A fresh calendar
+    /// is anchored at time zero; scheduling an at-now event against it
+    /// would misfile the event instead of staging it.
+    pub fn load_snapshot(
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::Snapshot;
+        let now = SimTime::load(r)?;
+        let delivered = r.u64()?;
+        let clamped = r.u64()?;
+        let n = r.seq_len()?;
+        let mut q = EventQueue::with_capacity(n);
+        q.now = now;
+        q.calendar.reanchor(now.as_picos());
+        let mut prev = now;
+        for _ in 0..n {
+            let at = SimTime::load(r)?;
+            if at < prev {
+                return Err(crate::snapshot::SnapshotError::Corrupt(
+                    "pending events out of delivery order".into(),
+                ));
+            }
+            prev = at;
+            let ev = E::load(r)?;
+            q.schedule_at(at, ev);
+        }
+        q.delivered = delivered;
+        q.clamped = clamped;
+        Ok(q)
+    }
+}
+
 /// A model plus its event queue: the runnable simulation.
 pub struct Simulation<M: Model> {
     model: M,
@@ -291,9 +355,24 @@ impl<M: Model> Simulation<M> {
         &mut self.queue
     }
 
+    /// Simultaneous exclusive access to both halves — for operations
+    /// that read or mutate the model and the queue together, like
+    /// taking a checkpoint (the model serializes itself, then the
+    /// queue appends its pending events).
+    pub fn parts_mut(&mut self) -> (&mut M, &mut EventQueue<M::Event>) {
+        (&mut self.model, &mut self.queue)
+    }
+
     /// Consumes the simulation, returning the model.
     pub fn into_model(self) -> M {
         self.model
+    }
+
+    /// Reassembles a simulation from a model and a (possibly restored)
+    /// event queue — the checkpoint/restore entry point: load both
+    /// halves from a snapshot, then resume with [`Simulation::run_until`].
+    pub fn from_parts(model: M, queue: EventQueue<M::Event>) -> Self {
+        Simulation { model, queue }
     }
 
     /// Delivers the next event, if any. Returns `false` when the queue
@@ -549,6 +628,76 @@ mod tests {
         let mut drained = Vec::new();
         q.drain_pending(|at, ev| drained.push((at.as_picos(), ev)));
         assert_eq!(drained, vec![(45, 7)]);
+    }
+
+    #[test]
+    fn restore_reanchors_calendar_on_restored_clock() {
+        use crate::snapshot::{SnapReader, SnapWriter};
+        // Snapshot *mid-burst*: three events share an instant deep into
+        // the run; the first has been delivered, two are still staged.
+        let mut q: EventQueue<u32> = EventQueue::with_capacity(8);
+        for ev in 1..=3 {
+            q.schedule_at(SimTime::from_picos(1_000_000), ev);
+        }
+        q.schedule_at(SimTime::from_picos(2_000_000), 9);
+        let (at, ev) = q.pop().unwrap();
+        assert_eq!((at.as_picos(), ev), (1_000_000, 1));
+
+        let mut w = SnapWriter::new();
+        q.save_snapshot(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        let mut restored = EventQueue::<u32>::load_snapshot(&mut r).unwrap();
+        assert!(r.is_exhausted(), "queue snapshot left trailing bytes");
+        assert_eq!(restored.now(), SimTime::from_picos(1_000_000));
+        assert_eq!(restored.len(), 3);
+        assert_eq!(restored.delivered(), 1);
+
+        // The regression case: an at-now schedule straight after restore
+        // must join the staging lane *behind* the restored burst. With
+        // the calendar still anchored at time zero (the pre-reanchor
+        // bug), the event would be misfiled instead of staged.
+        restored.schedule_at(restored.now(), 4);
+        assert_eq!(restored.clamped(), 0, "at-now after restore is not a clamp");
+        let mut order = Vec::new();
+        while let Some((at, ev)) = restored.pop() {
+            order.push((at.as_picos(), ev));
+        }
+        assert_eq!(
+            order,
+            vec![(1_000_000, 2), (1_000_000, 3), (1_000_000, 4), (2_000_000, 9)],
+            "restored burst must keep delivery order, at-now event last in batch"
+        );
+        assert_eq!(restored.delivered(), 5);
+    }
+
+    #[test]
+    fn save_snapshot_does_not_disturb_the_queue() {
+        use crate::snapshot::SnapWriter;
+        // Identical queues; one is saved mid-run, one never is. Both
+        // must deliver the same stream afterwards.
+        let build = || {
+            let mut q: EventQueue<u32> = EventQueue::with_capacity(8);
+            q.sync_to(SimTime::from_picos(100));
+            q.schedule(SimDuration::from_picos(50), 2);
+            q.schedule(SimDuration::ZERO, 0); // at-now staging lane
+            q.schedule(SimDuration::from_picos(50), 3); // tie with 2: FIFO
+            q.schedule(SimDuration::ZERO, 1);
+            q
+        };
+        let mut saved = build();
+        let mut w = SnapWriter::new();
+        saved.save_snapshot(&mut w);
+        let mut untouched = build();
+        let drain = |q: &mut EventQueue<u32>| {
+            let mut out = Vec::new();
+            while let Some((at, ev)) = q.pop() {
+                out.push((at.as_picos(), ev));
+            }
+            out
+        };
+        assert_eq!(drain(&mut saved), drain(&mut untouched));
+        assert_eq!(saved.delivered(), untouched.delivered());
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! - [`resource`] — helpers for modeling pools of identical servers
 //!   (DMA engines, processing elements, CPU cores).
 //! - [`trace_log`] — an event-tracing wrapper for debugging models.
+//! - [`snapshot`] — versioned checkpoint serialization: the
+//!   [`Snapshot`](snapshot::Snapshot) trait and wire format behind
+//!   `Machine::{snapshot,restore}` (see `docs/CHECKPOINT.md`).
 //! - [`telemetry`] — structured observability: component-keyed event
 //!   records, windowed time-series sampling, and a Chrome `trace_event`
 //!   exporter (see `docs/METRICS.md` for the metric glossary).
@@ -62,6 +65,7 @@ pub mod engine;
 pub mod resource;
 pub mod rng;
 pub mod slab;
+pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
 pub mod time;

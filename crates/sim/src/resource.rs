@@ -133,6 +133,37 @@ impl ServerPool {
     }
 }
 
+impl crate::snapshot::Snapshot for ServerPool {
+    /// Serializes a *sorted* next-free multiset: heap iteration order
+    /// is unspecified, and equal-time servers are interchangeable, so
+    /// sorting makes the bytes canonical without changing observable
+    /// behavior.
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        let mut free: Vec<SimTime> = self.free_at.iter().map(|Reverse(t)| *t).collect();
+        free.sort_unstable();
+        free.save(w);
+        self.busy.save(w);
+        w.u64(self.jobs);
+    }
+    fn load(
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let free = Vec::<SimTime>::load(r)?;
+        if free.is_empty() {
+            return Err(crate::snapshot::SnapshotError::Corrupt(
+                "empty server pool".into(),
+            ));
+        }
+        let busy = crate::stats::BusyTracker::load(r)?;
+        let jobs = r.u64()?;
+        Ok(ServerPool {
+            free_at: free.into_iter().map(Reverse).collect(),
+            busy,
+            jobs,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

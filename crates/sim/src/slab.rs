@@ -196,6 +196,62 @@ impl<T> Slab<T> {
     }
 }
 
+impl crate::snapshot::Snapshot for SlotId {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.u32(self.index);
+        w.u32(self.gen);
+    }
+    fn load(
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(SlotId {
+            index: r.u32()?,
+            gen: r.u32()?,
+        })
+    }
+}
+
+impl<T: crate::snapshot::Snapshot> crate::snapshot::Snapshot for Slab<T> {
+    /// The full table round-trips — slot generations, the free list,
+    /// and the trim-floor included — so handles captured in the same
+    /// snapshot keep resolving (or keep missing) exactly as before.
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.usize(self.slots.len());
+        for slot in &self.slots {
+            w.u32(slot.gen);
+            slot.val.save(w);
+        }
+        self.free.save(w);
+        w.usize(self.live);
+        w.u32(self.floor_gen);
+    }
+    fn load(
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let n = r.seq_len()?;
+        let mut slots = Vec::with_capacity(n);
+        for _ in 0..n {
+            let gen = r.u32()?;
+            let val = Option::<T>::load(r)?;
+            slots.push(Slot { gen, val });
+        }
+        let free = Vec::<u32>::load(r)?;
+        let live = r.usize()?;
+        let floor_gen = r.u32()?;
+        if slots.iter().filter(|s| s.val.is_some()).count() != live {
+            return Err(crate::snapshot::SnapshotError::Corrupt(
+                "slab live count disagrees with occupied slots".into(),
+            ));
+        }
+        Ok(Slab {
+            slots,
+            free,
+            live,
+            floor_gen,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

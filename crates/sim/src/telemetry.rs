@@ -1082,6 +1082,145 @@ impl Json {
     }
 }
 
+impl crate::snapshot::Snapshot for CompKind {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.u8(match self {
+            CompKind::Machine => 0,
+            CompKind::Accelerator => 1,
+            CompKind::Dma => 2,
+            CompKind::Manager => 3,
+            CompKind::Atm => 4,
+            CompKind::Tlb => 5,
+            CompKind::Link => 6,
+        });
+    }
+    fn load(
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(match r.u8()? {
+            0 => CompKind::Machine,
+            1 => CompKind::Accelerator,
+            2 => CompKind::Dma,
+            3 => CompKind::Manager,
+            4 => CompKind::Atm,
+            5 => CompKind::Tlb,
+            6 => CompKind::Link,
+            other => {
+                return Err(crate::snapshot::SnapshotError::Corrupt(format!(
+                    "unknown CompKind tag {other}"
+                )))
+            }
+        })
+    }
+}
+
+impl crate::snapshot::Snapshot for CompId {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        self.kind.save(w);
+        w.u16(self.index);
+    }
+    fn load(
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(CompId {
+            kind: CompKind::load(r)?,
+            index: r.u16()?,
+        })
+    }
+}
+
+impl crate::snapshot::Snapshot for Sampler {
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        self.interval.save(w);
+        self.next.save(w);
+        self.columns.save(w);
+        self.rows.save(w);
+        w.u64(self.missed);
+    }
+    fn load(
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let interval = SimDuration::load(r)?;
+        if interval.is_zero() {
+            return Err(crate::snapshot::SnapshotError::Corrupt(
+                "sampler interval is zero".into(),
+            ));
+        }
+        let next = SimTime::load(r)?;
+        let columns = Vec::<String>::load(r)?;
+        if columns.is_empty() {
+            return Err(crate::snapshot::SnapshotError::Corrupt(
+                "sampler has no columns".into(),
+            ));
+        }
+        let rows = Vec::<(SimTime, Vec<u64>)>::load(r)?;
+        for (_, row) in &rows {
+            if row.len() != columns.len() {
+                return Err(crate::snapshot::SnapshotError::Corrupt(
+                    "sampler row width disagrees with columns".into(),
+                ));
+            }
+        }
+        let missed = r.u64()?;
+        Ok(Sampler {
+            interval,
+            next,
+            columns,
+            rows,
+            missed,
+        })
+    }
+}
+
+impl crate::snapshot::Snapshot for Telemetry {
+    /// Captures the sink's configuration, counters, and labels — **not**
+    /// the ring contents. [`Record::name`] is a `&'static str` interned
+    /// at compile time, so buffered records cannot round-trip through a
+    /// file; a restored sink resumes with an empty ring while `emitted`
+    /// and `dropped` carry on from their saved values. The restored
+    /// run's timeline therefore starts at the snapshot instant — see
+    /// `docs/CHECKPOINT.md` for the full accounting of this exclusion.
+    fn save(&self, w: &mut crate::snapshot::SnapWriter) {
+        w.bool(self.enabled);
+        w.usize(self.capacity);
+        w.u64(self.emitted);
+        w.u64(self.dropped);
+        w.usize(self.labels.len());
+        for (comp, label) in &self.labels {
+            comp.save(w);
+            label.save(w);
+        }
+    }
+    fn load(
+        r: &mut crate::snapshot::SnapReader<'_>,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let enabled = r.bool()?;
+        let capacity = r.usize()?;
+        if enabled && capacity == 0 {
+            return Err(crate::snapshot::SnapshotError::Corrupt(
+                "enabled telemetry sink with zero capacity".into(),
+            ));
+        }
+        let emitted = r.u64()?;
+        let dropped = r.u64()?;
+        let n = r.seq_len()?;
+        let mut labels = BTreeMap::new();
+        for _ in 0..n {
+            let comp = CompId::load(r)?;
+            let label = String::load(r)?;
+            labels.insert(comp, label);
+        }
+        Ok(Telemetry {
+            enabled,
+            capacity,
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            emitted,
+            dropped,
+            labels,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -121,6 +121,15 @@ impl Atm {
     pub fn writes(&self) -> u64 {
         self.writes
     }
+
+    /// Overwrites the lifetime access counters. Checkpoint-restore
+    /// hook: the stored traces themselves are rebuilt from the trace
+    /// library (they never change during a run), but the counters are
+    /// run state and must resume from their saved values.
+    pub fn restore_counters(&mut self, reads: u64, writes: u64) {
+        self.reads = reads;
+        self.writes = writes;
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,9 @@
 //!   accelerator).
 //! - [`packed`] — the compact binary (nibble-stream) encoding; simple
 //!   traces fit the paper's 8-byte budget (4 bits per accelerator).
+//! - [`snapshot`] — checkpoint serialization of the trace IR (the
+//!   `Snapshot` impls behind `Machine::{snapshot,restore}`; see
+//!   `docs/CHECKPOINT.md`).
 //! - [`builder`] — the paper's programming API: `seq` / `branch` /
 //!   `trans` (Listing 1).
 //! - [`atm`] — the Accelerator Trace Memory.
@@ -60,6 +63,7 @@ pub mod format;
 pub mod ir;
 pub mod kind;
 pub mod packed;
+pub mod snapshot;
 pub mod templates;
 pub mod viz;
 
